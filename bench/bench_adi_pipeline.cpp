@@ -1,0 +1,41 @@
+// ADI pipeline breakdown (apps/adi): where a full 2-D implicit diffusion
+// step spends its simulated time — batched tridiagonal solves vs the
+// transposes that keep both sweep directions coalesced. The transpose
+// share shows why production ADI codes care about fused/strided solver
+// variants (paper §III.C's motivation for fusion applies to pipelines,
+// not just single solves).
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/adi.hpp"
+#include "bench_common.hpp"
+
+using namespace tridsolve;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const bool quick = cli.get_bool("quick", false);
+
+  util::Table table("ADI step breakdown on simulated GTX480 (double)");
+  table.set_header({"grid", "step[us]", "solves[us]", "transposes[us]",
+                    "transpose share", "k (x-sweep)"});
+
+  std::vector<std::size_t> sizes{128, 256, 512, 1024};
+  if (quick) sizes = {64, 128};
+
+  for (std::size_t n : sizes) {
+    apps::AdiOptions opts;
+    apps::AdiIntegrator<double> adi(gpusim::gtx480(), n, n, opts);
+    std::vector<double> field(n * n, 1.0);
+    const auto rep = adi.step(field);
+    table.add_row(
+        {std::to_string(n) + "x" + std::to_string(n),
+         bench::us(rep.total_us()), bench::us(rep.solve_us()),
+         bench::us(rep.transpose_us()),
+         util::Table::num(100.0 * rep.transpose_us() / rep.total_us(), 1) + "%",
+         std::to_string(gpu::heuristic_k(n, n))});
+  }
+  bench::emit(table, cli);
+  return 0;
+}

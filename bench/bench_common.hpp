@@ -1,0 +1,50 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction benches.
+
+#include <cstdio>
+#include <string>
+
+#include "cpu_baselines/mkl_like.hpp"
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/transition.hpp"
+#include "gpusim/device_spec.hpp"
+#include "tridiag/layout.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+namespace tridsolve::bench {
+
+/// Layout the hybrid wants for a given batch shape (the paper's setup):
+/// interleaved when it will run pure p-Thomas (k = 0), contiguous when
+/// tiled PCR leads.
+inline tridiag::Layout preferred_layout(std::size_t m, std::size_t n) {
+  return gpu::heuristic_k(m, n) == 0 ? tridiag::Layout::interleaved
+                                     : tridiag::Layout::contiguous;
+}
+
+/// Run the full hybrid solve on a fresh random diagonally-dominant batch
+/// and return the report (timings are simulated; the numerics are real).
+template <typename T>
+gpu::HybridReport run_ours(const gpusim::DeviceSpec& dev, std::size_t m,
+                           std::size_t n, const gpu::HybridOptions& opts = {}) {
+  auto batch = workloads::make_batch<T>(workloads::Kind::random_dominant, m, n,
+                                        preferred_layout(m, n), /*seed=*/42);
+  return gpu::hybrid_solve<T>(dev, batch, opts);
+}
+
+/// Print a table as ASCII (default) or CSV if --csv was passed.
+inline void emit(const util::Table& table, const util::Cli& cli) {
+  if (cli.get_bool("csv", false)) {
+    std::fputs(table.to_csv().c_str(), stdout);
+  } else {
+    std::fputs(table.to_ascii().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+}
+
+inline std::string us(double v) { return util::Table::num(v, 1); }
+inline std::string ms(double v) { return util::Table::num(v / 1000.0, 2); }
+inline std::string ratio(double v) { return util::Table::num(v, 1) + "x"; }
+
+}  // namespace tridsolve::bench

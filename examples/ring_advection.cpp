@@ -1,0 +1,108 @@
+// Implicit advection-diffusion on a periodic ring — exercises the
+// Sherman-Morrison periodic extension (tridiag/periodic.hpp and the
+// batched GPU composition in gpu_solvers/periodic_gpu.hpp).
+//
+//   u_t + a u_x = nu u_xx   on a circle of N cells, M independent rings
+//   (e.g. M latitude bands of an atmospheric transport model), stepped
+//   with backward Euler + central differences:
+//
+//   (1 + 2r) u_i - (r + s) u_{i-1} - (r - s) u_{i+1} = u_i^old
+//   r = nu dt / h^2,  s = a dt / (2h),  indices mod N -> two corner
+//   entries per matrix -> one batched periodic solve per step.
+//
+// A passive blob advects around the ring; mass (the discrete integral) is
+// conserved exactly by this scheme, which the example verifies, and the
+// peak position circulates at speed `a`.
+//
+//   ./ring_advection [--m 64] [--n 512] [--steps 40]
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "gpu_solvers/periodic_gpu.hpp"
+#include "gpusim/device_spec.hpp"
+#include "util/cli.hpp"
+
+using namespace tridsolve;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"m", "n", "steps"});
+  const std::size_t m_count = static_cast<std::size_t>(cli.get_int("m", 64));
+  const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 512));
+  const int steps = static_cast<int>(cli.get_int("steps", 40));
+
+  const double h = 1.0 / static_cast<double>(n);
+  const double dt = 0.5 * h;     // CFL-ish; implicit scheme is stable anyway
+  const double a = 1.0;          // advection speed (one lap per unit time)
+  const double nu = 2e-4;        // diffusion
+  const double r = nu * dt / (h * h);
+  const double s = a * dt / (2.0 * h);
+
+  // M rings, each with a Gaussian blob at a ring-dependent phase.
+  std::vector<std::vector<double>> u(m_count, std::vector<double>(n));
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const double center = static_cast<double>(m) / static_cast<double>(m_count);
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = static_cast<double>(i) * h - center;
+      x -= std::round(x);  // wrap to [-0.5, 0.5)
+      u[m][i] = std::exp(-x * x / 0.002);
+    }
+  }
+  auto mass = [&](std::size_t m) {
+    double total = 0.0;
+    for (double v : u[m]) total += v * h;
+    return total;
+  };
+  const double mass0 = mass(0);
+
+  const auto dev = gpusim::gtx480();
+  double sim_us = 0.0;
+  for (int step = 0; step < steps; ++step) {
+    tridiag::SystemBatch<double> batch(m_count, n, tridiag::Layout::contiguous);
+    // alpha = A[0][n-1]: row 0's u_{i-1} coefficient wraps to u_{n-1};
+    // beta = A[n-1][0]: the last row's u_{i+1} coefficient wraps to u_0.
+    std::vector<gpu::PeriodicCorners<double>> corners(
+        m_count, {/*alpha=*/-(r + s), /*beta=*/-(r - s)});
+    for (std::size_t m = 0; m < m_count; ++m) {
+      auto sys = batch.system(m);
+      for (std::size_t i = 0; i < n; ++i) {
+        sys.a[i] = i == 0 ? 0.0 : -(r + s);
+        sys.b[i] = 1.0 + 2.0 * r;
+        sys.c[i] = i + 1 == n ? 0.0 : -(r - s);
+        sys.d[i] = u[m][i];
+      }
+    }
+    const auto rep = gpu::periodic_solve_gpu<double>(dev, batch, corners);
+    if (!rep.status.ok()) {
+      std::fprintf(stderr, "combine failed at step %d\n", step);
+      return 1;
+    }
+    sim_us += rep.hybrid.total_us();
+    for (std::size_t m = 0; m < m_count; ++m) {
+      for (std::size_t i = 0; i < n; ++i) u[m][i] = batch.d()[batch.index(m, i)];
+    }
+  }
+
+  // Where did ring 0's peak end up? Expect a displacement of a*dt*steps.
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (u[0][i] > u[0][peak]) peak = i;
+  }
+  const double expected = a * dt * static_cast<double>(steps);
+  const double moved = static_cast<double>(peak) * h;  // started at 0
+  double err = moved - expected;
+  err -= std::round(err);  // periodic distance
+
+  const double mass_drift = std::abs(mass(0) - mass0) / mass0;
+  std::printf("%zu periodic rings of %zu cells, %d implicit steps\n", m_count,
+              n, steps);
+  std::printf("peak displacement %.4f (expected %.4f, periodic error %.4f)\n",
+              moved, expected, std::abs(err));
+  std::printf("relative mass drift %.2e (scheme is conservative)\n", mass_drift);
+  std::printf("simulated GPU time %.1f us total (batched 2M=%zu systems per "
+              "step via Sherman-Morrison)\n",
+              sim_us, 2 * m_count);
+  return (std::abs(err) < 3.0 * h && mass_drift < 1e-10) ? 0 : 2;
+}

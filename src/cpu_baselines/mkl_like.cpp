@@ -1,0 +1,49 @@
+#include "cpu_baselines/mkl_like.hpp"
+
+#include <algorithm>
+
+#include "tridiag/lu_pivot.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace tridsolve::cpu {
+
+double CpuModel::sequential_us(std::size_t m, std::size_t n, bool fp64) const noexcept {
+  const double cycles_per_row =
+      fp64 ? spec_.gtsv_cycles_per_row_f64 : spec_.gtsv_cycles_per_row_f32;
+  const double per_system_us =
+      static_cast<double>(n) * cycles_per_row / (spec_.clock_ghz * 1e3) +
+      spec_.call_overhead_us;
+  return static_cast<double>(m) * per_system_us;
+}
+
+double CpuModel::multithreaded_us(std::size_t m, std::size_t n, bool fp64) const noexcept {
+  if (m < 2) return sequential_us(m, n, fp64);  // gtsv itself is not threaded
+  const double speedup =
+      std::min(spec_.effective_mt_speedup, static_cast<double>(m));
+  return sequential_us(m, n, fp64) / speedup + spec_.mt_fork_overhead_us;
+}
+
+template <typename T>
+tridiag::SolveStatus solve_batch(tridiag::SystemBatch<T>& batch) {
+  const std::size_t n = batch.system_size();
+  util::AlignedBuffer<T> scratch(4 * n);
+  util::AlignedBuffer<T> x(n);
+  tridiag::GtsvWorkspace<T> ws{
+      scratch.span().subspan(0, n), scratch.span().subspan(n, n),
+      scratch.span().subspan(2 * n, n), scratch.span().subspan(3 * n, n)};
+
+  tridiag::SolveStatus first_bad;
+  for (std::size_t m = 0; m < batch.num_systems(); ++m) {
+    auto sys = batch.system(m);
+    const auto st =
+        tridiag::lu_gtsv<T>(sys, tridiag::StridedView<T>(x.span()), ws);
+    if (!st.ok() && first_bad.ok()) first_bad = st;
+    for (std::size_t i = 0; i < n; ++i) sys.d[i] = x[i];
+  }
+  return first_bad;
+}
+
+template tridiag::SolveStatus solve_batch<float>(tridiag::SystemBatch<float>&);
+template tridiag::SolveStatus solve_batch<double>(tridiag::SystemBatch<double>&);
+
+}  // namespace tridsolve::cpu

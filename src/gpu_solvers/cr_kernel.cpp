@@ -1,0 +1,143 @@
+#include "gpu_solvers/cr_kernel.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "gpu_solvers/zhang_pcr_thomas.hpp"
+
+namespace tridsolve::gpu {
+
+namespace {
+
+/// Index padding a la Göddeke & Strzodka: insert one padding element per
+/// half-warp of entries so power-of-two strides stop aliasing to the same
+/// banks. (bank = word % 32; doubles occupy 2 words, hence the /16.)
+constexpr std::size_t pad_index(std::size_t i, bool enabled,
+                                std::size_t elems_per_conflict_period) noexcept {
+  return enabled ? i + i / elems_per_conflict_period : i;
+}
+
+}  // namespace
+
+template <typename T>
+gpusim::LaunchStats cr_kernel_solve(const gpusim::DeviceSpec& dev,
+                                    tridiag::SystemBatch<T>& batch,
+                                    const CrKernelOptions& opts) {
+  const std::size_t n = batch.system_size();
+  const std::size_t npad = std::bit_ceil(std::max<std::size_t>(n, 1));
+  // Elements per conflict period: a full set of banks' worth of elements.
+  const std::size_t period =
+      static_cast<std::size_t>(dev.shared_banks) *
+      static_cast<std::size_t>(dev.shared_bank_width) / sizeof(T);
+  const std::size_t storage =
+      pad_index(npad - 1, opts.pad_shared, period) + 1;
+  if (storage * 4 * sizeof(T) > dev.shared_mem_per_block) {
+    throw std::invalid_argument("cr_kernel_solve: padded system (" +
+                                std::to_string(storage) +
+                                " rows) does not fit in shared memory");
+  }
+  const auto levels = static_cast<unsigned>(std::bit_width(npad) - 1);
+
+  return gpusim::launch(dev, {batch.num_systems(), opts.block_threads},
+                        [&](gpusim::BlockContext& ctx) {
+    // SoA shared arrays, as a real CR kernel lays them out.
+    auto sa = ctx.shared<T>(storage);
+    auto sb = ctx.shared<T>(storage);
+    auto sc = ctx.shared<T>(storage);
+    auto sd = ctx.shared<T>(storage);
+    auto sys = batch.system(ctx.block_id());
+    const auto tcount = static_cast<std::size_t>(opts.block_threads);
+    auto idx = [&](std::size_t i) { return pad_index(i, opts.pad_shared, period); };
+
+    // Coalesced load; identity rows pad to the next power of two.
+    ctx.phase([&](gpusim::ThreadCtx& t) {
+      for (std::size_t i = static_cast<std::size_t>(t.tid()); i < npad; i += tcount) {
+        const std::size_t s = idx(i);
+        if (i < n) {
+          t.sstore(&sa[s], t.load(sys.a.ptr(i)));
+          t.sstore(&sb[s], t.load(sys.b.ptr(i)));
+          t.sstore(&sc[s], t.load(sys.c.ptr(i)));
+          t.sstore(&sd[s], t.load(sys.d.ptr(i)));
+        } else {
+          t.sstore(&sa[s], T(0));
+          t.sstore(&sb[s], T(1));
+          t.sstore(&sc[s], T(0));
+          t.sstore(&sd[s], T(0));
+        }
+      }
+    });
+
+    // Forward reduction: level L eliminates rows p == 2^{L+1}-1 (mod
+    // 2^{L+1}) against neighbours at +-2^L. In place: neighbours belong to
+    // the other residue class and are not written this level. Active rows
+    // halve per level while each level still costs a full barrier — and
+    // the stride-2^L shared accesses produce the bank conflicts the
+    // padding option removes.
+    for (unsigned level = 0; level < levels; ++level) {
+      const std::size_t step = std::size_t{2} << level;  // 2^{L+1}
+      const std::size_t reach = std::size_t{1} << level;
+      ctx.phase([&](gpusim::ThreadCtx& t) {
+        for (std::size_t p = step - 1 + static_cast<std::size_t>(t.tid()) * step;
+             p < npad; p += tcount * step) {
+          const std::size_t sm = idx(p);
+          const std::size_t sl = idx(p - reach);
+          const T a_m = t.sload(&sa[sm]), b_m = t.sload(&sb[sm]);
+          const T c_m = t.sload(&sc[sm]), d_m = t.sload(&sd[sm]);
+          const T a_l = t.sload(&sa[sl]), b_l = t.sload(&sb[sl]);
+          const T c_l = t.sload(&sc[sl]), d_l = t.sload(&sd[sl]);
+          T a_h = T(0), b_h = T(1), c_h = T(0), d_h = T(0);
+          if (p + reach < npad) {
+            const std::size_t sh = idx(p + reach);
+            a_h = t.sload(&sa[sh]);
+            b_h = t.sload(&sb[sh]);
+            c_h = t.sload(&sc[sh]);
+            d_h = t.sload(&sd[sh]);
+          }
+          const T k1 = a_m / b_l;
+          const T k2 = c_m / b_h;
+          t.sstore(&sa[sm], -a_l * k1);
+          t.sstore(&sb[sm], b_m - c_l * k1 - a_h * k2);
+          t.sstore(&sc[sm], -c_h * k2);
+          t.sstore(&sd[sm], d_m - d_l * k1 - d_h * k2);
+          t.flops<T>(10);
+          t.divs<T>(2);
+        }
+      });
+    }
+
+    // Backward substitution: x overwrites d for solved rows.
+    for (unsigned level = levels + 1; level-- > 0;) {
+      const std::size_t reach = std::size_t{1} << level;
+      const std::size_t step = reach * 2;
+      ctx.phase([&](gpusim::ThreadCtx& t) {
+        for (std::size_t p = reach - 1 + static_cast<std::size_t>(t.tid()) * step;
+             p < npad; p += tcount * step) {
+          const std::size_t sm = idx(p);
+          const T x_lo = p >= reach ? t.sload(&sd[idx(p - reach)]) : T(0);
+          const T x_hi = p + reach < npad ? t.sload(&sd[idx(p + reach)]) : T(0);
+          const T x = (t.sload(&sd[sm]) - t.sload(&sa[sm]) * x_lo -
+                       t.sload(&sc[sm]) * x_hi) /
+                      t.sload(&sb[sm]);
+          t.sstore(&sd[sm], x);
+          t.flops<T>(4);
+          t.divs<T>(1);
+        }
+      });
+    }
+
+    ctx.phase([&](gpusim::ThreadCtx& t) {
+      for (std::size_t i = static_cast<std::size_t>(t.tid()); i < n; i += tcount) {
+        t.store(sys.d.ptr(i), t.sload(&sd[idx(i)]));
+      }
+    });
+  });
+}
+
+template gpusim::LaunchStats cr_kernel_solve<float>(const gpusim::DeviceSpec&,
+                                                    tridiag::SystemBatch<float>&,
+                                                    const CrKernelOptions&);
+template gpusim::LaunchStats cr_kernel_solve<double>(const gpusim::DeviceSpec&,
+                                                     tridiag::SystemBatch<double>&,
+                                                     const CrKernelOptions&);
+
+}  // namespace tridsolve::gpu

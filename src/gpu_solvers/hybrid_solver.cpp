@@ -1,0 +1,184 @@
+#include "gpu_solvers/hybrid_solver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "gpu_solvers/pthomas_kernel.hpp"
+#include "gpu_solvers/transition.hpp"
+#include "tridiag/pcr.hpp"
+
+namespace tridsolve::gpu {
+
+namespace {
+
+template <typename T>
+WindowVariant pick_variant(const gpusim::DeviceSpec& dev,
+                           const tridiag::SystemBatch<T>& batch) {
+  // Few systems: not enough whole-system windows to fill the device, so
+  // split each system across a block group (Fig. 11(b)). Otherwise one
+  // window per block is already plenty of blocks.
+  return batch.num_systems() < static_cast<std::size_t>(2 * dev.num_sms)
+             ? WindowVariant::split_system
+             : WindowVariant::one_block_per_system;
+}
+
+/// Views of the 2^k interleaved reduced systems inside `batch`-shaped
+/// arrays (which may be a scratch copy), ordered so that consecutive
+/// p-Thomas threads touch consecutive addresses.
+template <typename T>
+std::vector<tridiag::SystemRef<T>> reduced_system_views(
+    tridiag::SystemBatch<T>& batch, unsigned k) {
+  const std::size_t m_count = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  const std::size_t stride_sys = std::size_t{1} << k;
+  std::vector<tridiag::SystemRef<T>> views;
+  views.reserve(m_count * stride_sys);
+
+  const bool contiguous = batch.layout() == tridiag::Layout::contiguous;
+  const std::ptrdiff_t elem_stride = static_cast<std::ptrdiff_t>(
+      contiguous ? stride_sys : stride_sys * m_count);
+
+  auto push = [&](std::size_t m, std::size_t r) {
+    if (r >= n) return;  // degenerate: system smaller than 2^k
+    const std::size_t base = batch.index(m, r);
+    const std::size_t count = (n - r + stride_sys - 1) / stride_sys;
+    views.push_back(tridiag::SystemRef<T>{
+        tridiag::StridedView<T>(batch.a().data() + base, count, elem_stride),
+        tridiag::StridedView<T>(batch.b().data() + base, count, elem_stride),
+        tridiag::StridedView<T>(batch.c().data() + base, count, elem_stride),
+        tridiag::StridedView<T>(batch.d().data() + base, count, elem_stride)});
+  };
+
+  if (contiguous) {
+    // sid = m * 2^k + r: consecutive r -> consecutive addresses.
+    for (std::size_t m = 0; m < m_count; ++m) {
+      for (std::size_t r = 0; r < stride_sys; ++r) push(m, r);
+    }
+  } else {
+    // sid = r * M + m: consecutive m -> consecutive addresses.
+    for (std::size_t r = 0; r < stride_sys; ++r) {
+      for (std::size_t m = 0; m < m_count; ++m) push(m, r);
+    }
+  }
+  return views;
+}
+
+}  // namespace
+
+template <typename T>
+HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
+                          tridiag::SystemBatch<T>& batch,
+                          const HybridOptions& opts) {
+  HybridReport report;
+  const std::size_t m_count = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  if (m_count == 0 || n == 0) return report;
+
+  // --- 1. transition point -------------------------------------------------
+  unsigned k;
+  if (opts.force_k >= 0) {
+    k = static_cast<unsigned>(opts.force_k);
+  } else if (opts.use_cost_model) {
+    k = model_best_k(m_count, n, dev);
+  } else {
+    k = heuristic_k(m_count, n);
+  }
+  report.k = k;
+
+  // --- 2. tiled PCR ---------------------------------------------------------
+  std::optional<tridiag::SystemBatch<T>> scratch;  // split-system double buffer
+  tridiag::SystemBatch<T>* reduced = &batch;
+
+  if (k >= 1) {
+    TiledPcrConfig cfg;
+    cfg.k = k;
+    cfg.c = std::max<std::size_t>(1, opts.sub_tile_c);
+    cfg.fuse_thomas_forward = opts.fuse;
+
+    WindowVariant variant = opts.variant == WindowVariant::auto_select
+                                ? pick_variant(dev, batch)
+                                : opts.variant;
+    if (opts.fuse && variant == WindowVariant::split_system) {
+      variant = WindowVariant::one_block_per_system;  // fusion needs whole systems
+    }
+    report.variant = variant;
+
+    std::vector<TiledPcrWork<T>> work;
+    if (variant == WindowVariant::split_system) {
+      std::size_t regions = opts.blocks_per_system;
+      if (regions == 0) {
+        const std::size_t sub_tile = cfg.c << k;
+        const std::size_t target_blocks =
+            static_cast<std::size_t>(4 * dev.num_sms);
+        const std::size_t max_regions =
+            std::max<std::size_t>(1, n / std::max<std::size_t>(1, 4 * sub_tile));
+        regions = std::clamp<std::size_t>(
+            (target_blocks + m_count - 1) / m_count, 1, max_regions);
+      }
+      scratch.emplace(m_count, n, batch.layout());
+      reduced = &*scratch;
+      for (std::size_t m = 0; m < m_count; ++m) {
+        const std::size_t per = (n + regions - 1) / regions;
+        for (std::size_t r = 0; r < regions; ++r) {
+          const std::size_t r0 = r * per;
+          const std::size_t r1 = std::min(n, r0 + per);
+          if (r0 >= r1) break;
+          work.push_back(
+              TiledPcrWork<T>{batch.system(m), scratch->system(m), r0, r1});
+        }
+      }
+    } else {
+      if (variant == WindowVariant::multi_system_per_block) {
+        cfg.systems_per_block = opts.systems_per_block == 0
+                                    ? std::min<std::size_t>(4, m_count)
+                                    : opts.systems_per_block;
+      }
+      for (std::size_t m = 0; m < m_count; ++m) {
+        work.push_back(TiledPcrWork<T>{batch.system(m), batch.system(m), 0, n});
+      }
+    }
+
+    const auto pcr_stats = tiled_pcr_kernel<T>(dev, work, cfg);
+    report.timeline.add(opts.fuse ? "pcr+thomas-fwd" : "pcr", pcr_stats.launch);
+    report.eliminations_pcr = pcr_stats.eliminations;
+    report.redundant_loads = pcr_stats.redundant_loads();
+    report.pcr_shared_bytes = pcr_stats.launch.costs.shared_peak_bytes;
+  } else {
+    report.variant = WindowVariant::one_block_per_system;
+  }
+
+  // --- 3. p-Thomas over the reduced systems ---------------------------------
+  auto systems = reduced_system_views(*reduced, k);
+  report.reduced_systems = systems.size();
+
+  std::vector<tridiag::StridedView<T>> xout;
+  if (reduced != &batch) {
+    // Solutions belong in the caller's d array, not the scratch buffer.
+    xout.reserve(systems.size());
+    auto originals = reduced_system_views(batch, k);
+    for (const auto& sys : originals) xout.push_back(sys.d);
+  }
+
+  if (opts.fuse && k >= 1) {
+    const auto bwd = pthomas_backward<T>(dev, systems, xout,
+                                         opts.pthomas_block_threads);
+    report.timeline.add("thomas-bwd", bwd);
+  } else {
+    const auto th =
+        pthomas_solve<T>(dev, systems, xout, opts.pthomas_block_threads);
+    report.timeline.add("thomas-fwd", th.forward);
+    report.timeline.add("thomas-bwd", th.backward);
+  }
+
+  // Split-system scratch: x was routed to batch.d via xout; nothing to copy.
+  return report;
+}
+
+template HybridReport hybrid_solve<float>(const gpusim::DeviceSpec&,
+                                          tridiag::SystemBatch<float>&,
+                                          const HybridOptions&);
+template HybridReport hybrid_solve<double>(const gpusim::DeviceSpec&,
+                                           tridiag::SystemBatch<double>&,
+                                           const HybridOptions&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,82 @@
+#pragma once
+// The paper's contribution: the scalable hybrid tiled-PCR + p-Thomas
+// tridiagonal solver (§III), orchestrated over the simulated GPU.
+//
+// Pipeline:
+//   1. choose the transition point k from (M, N, hardware) — Table III
+//      heuristic by default, Table II cost model or a forced k on request;
+//   2. k >= 1: run the tiled PCR kernel, which rewrites each system as
+//      2^k independent interleaved systems (window variant per Fig. 11);
+//   3. run p-Thomas over the 2^k * M reduced systems (or only its
+//      backward pass when the forward sweep was fused into the PCR
+//      kernel, §III.C);
+//   4. the solution lands in the batch's d array.
+
+#include <cstddef>
+#include <optional>
+
+#include "gpu_solvers/tiled_pcr_kernel.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "tridiag/layout.hpp"
+
+namespace tridsolve::gpu {
+
+enum class WindowVariant {
+  auto_select,            ///< pick from M and the device
+  one_block_per_system,   ///< Fig. 11(a)
+  split_system,           ///< Fig. 11(b): block group per system
+  multi_system_per_block, ///< Fig. 11(c): several windows per block
+};
+
+struct HybridOptions {
+  int force_k = -1;             ///< >= 0 overrides the heuristic
+  bool use_cost_model = false;  ///< Table II model instead of Table III
+  std::size_t sub_tile_c = 1;   ///< S = c * 2^k
+  WindowVariant variant = WindowVariant::auto_select;
+  std::size_t blocks_per_system = 0;  ///< 0 = auto (split_system only)
+  std::size_t systems_per_block = 0;  ///< 0 = auto (multi_system only)
+  bool fuse = false;                  ///< fuse Thomas forward into PCR kernel
+  int pthomas_block_threads = 128;
+};
+
+struct HybridReport {
+  unsigned k = 0;
+  WindowVariant variant = WindowVariant::one_block_per_system;
+  gpusim::Timeline timeline;
+
+  std::size_t reduced_systems = 0;
+  std::size_t eliminations_pcr = 0;
+  std::size_t redundant_loads = 0;   ///< halo loads (split_system only)
+  std::size_t pcr_shared_bytes = 0;  ///< window footprint per block
+
+  [[nodiscard]] double total_us() const noexcept { return timeline.total_us(); }
+  [[nodiscard]] double pcr_us() const { return timeline.time_with_prefix("pcr"); }
+  [[nodiscard]] double thomas_us() const {
+    return timeline.time_with_prefix("thomas");
+  }
+  /// Fraction of the runtime spent in tiled PCR (§IV reports 6.25%, 36.2%,
+  /// ~55% for M = 256, 16, 1).
+  [[nodiscard]] double pcr_fraction() const {
+    return total_us() > 0.0 ? pcr_us() / total_us() : 0.0;
+  }
+};
+
+/// Solve every system of `batch` in place (solution in d) on the simulated
+/// device. The batch layout determines the memory addresses the kernels
+/// touch: use contiguous for k >= 1 (PCR interleaves in place, feeding
+/// p-Thomas coalesced accesses) and interleaved for the k = 0 fast path,
+/// as the paper's setup does.
+template <typename T>
+HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
+                          tridiag::SystemBatch<T>& batch,
+                          const HybridOptions& opts = {});
+
+extern template HybridReport hybrid_solve<float>(const gpusim::DeviceSpec&,
+                                                 tridiag::SystemBatch<float>&,
+                                                 const HybridOptions&);
+extern template HybridReport hybrid_solve<double>(const gpusim::DeviceSpec&,
+                                                  tridiag::SystemBatch<double>&,
+                                                  const HybridOptions&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,97 @@
+#pragma once
+// Block-level building blocks for solvers that keep a whole (sub)system in
+// shared memory: in-shared PCR steps and thread-parallel Thomas.
+//
+// Used by the Zhang-style small-system solver [16][17] and by the final
+// stage of the Davidson-style baseline [19]. An in-shared PCR step is done
+// in place with the usual read-into-registers / barrier / write-back
+// discipline (two phases = two barriers per step).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gpusim/block_context.hpp"
+
+namespace tridsolve::gpu {
+
+/// One row in simulated shared memory (matches the kernels' layout).
+template <typename T>
+struct ShRow {
+  T a, b, c, d;
+};
+
+/// One in-place PCR step at `stride` over shared rows[0..q): every thread
+/// handles rows tid, tid+threads, ...; results are staged in registers and
+/// written back after a barrier. Out-of-range neighbours act as identity.
+template <typename T>
+void inshared_pcr_step(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
+                       std::size_t stride) {
+  const std::size_t q = rows.size();
+  const auto threads = static_cast<std::size_t>(ctx.block_threads());
+  // Per-thread staging registers, indexed like the row ownership pattern.
+  std::vector<ShRow<T>> staged(q);
+
+  ctx.phase([&](gpusim::ThreadCtx& t) {
+    for (std::size_t i = static_cast<std::size_t>(t.tid()); i < q; i += threads) {
+      const ShRow<T> mid = rows[i];
+      const ShRow<T> lo =
+          i >= stride ? rows[i - stride] : ShRow<T>{T(0), T(1), T(0), T(0)};
+      const ShRow<T> hi =
+          i + stride < q ? rows[i + stride] : ShRow<T>{T(0), T(1), T(0), T(0)};
+      const T k1 = mid.a / lo.b;
+      const T k2 = mid.c / hi.b;
+      staged[i] = ShRow<T>{-lo.a * k1, mid.b - lo.c * k1 - hi.a * k2, -hi.c * k2,
+                           mid.d - lo.d * k1 - hi.d * k2};
+      t.flops<T>(10);
+      t.divs<T>(2);
+    }
+  });
+  ctx.phase([&](gpusim::ThreadCtx& t) {
+    for (std::size_t i = static_cast<std::size_t>(t.tid()); i < q; i += threads) {
+      rows[i] = staged[i];
+    }
+  });
+}
+
+/// Thread-parallel Thomas entirely in shared memory: rows already reduced
+/// to `num_subsystems` interleaved subsystems (coupling stride ==
+/// num_subsystems); each thread solves subsystems tid, tid+threads, ...
+/// The solution overwrites rows[i].d.
+template <typename T>
+void inshared_pthomas(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
+                      std::size_t num_subsystems) {
+  const std::size_t q = rows.size();
+  const auto threads = static_cast<std::size_t>(ctx.block_threads());
+  ctx.phase([&](gpusim::ThreadCtx& t) {
+    for (std::size_t r = static_cast<std::size_t>(t.tid()); r < num_subsystems;
+         r += threads) {
+      // Forward.
+      T cp = T(0), dp = T(0);
+      for (std::size_t i = r; i < q; i += num_subsystems) {
+        const T denom = rows[i].b - cp * rows[i].a;
+        const T inv = T(1) / denom;
+        cp = rows[i].c * inv;
+        dp = (rows[i].d - dp * rows[i].a) * inv;
+        rows[i].c = cp;
+        rows[i].d = dp;
+        t.flops<T>(6);
+        t.divs<T>(1);
+      }
+      // Backward.
+      T x_next = T(0);
+      bool first = true;
+      const std::size_t count = r < q ? (q - r + num_subsystems - 1) / num_subsystems : 0;
+      for (std::size_t jj = count; jj-- > 0;) {
+        const std::size_t i = r + jj * num_subsystems;
+        const T x = first ? rows[i].d : rows[i].d - rows[i].c * x_next;
+        first = false;
+        rows[i].d = x;
+        x_next = x;
+        t.flops<T>(2);
+      }
+    }
+  });
+}
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,68 @@
+#include "gpu_solvers/periodic_gpu.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace tridsolve::gpu {
+
+template <typename T>
+PeriodicReport periodic_solve_gpu(const gpusim::DeviceSpec& dev,
+                                  tridiag::SystemBatch<T>& batch,
+                                  std::span<const PeriodicCorners<T>> corners,
+                                  const HybridOptions& opts) {
+  const std::size_t m_count = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  if (corners.size() != m_count) {
+    throw std::invalid_argument("periodic_solve_gpu: corners/batch mismatch");
+  }
+  if (n < 3) {
+    throw std::invalid_argument("periodic_solve_gpu: system too small");
+  }
+
+  // Build the doubled batch: system 2m solves A' y = d, system 2m+1
+  // solves A' z = u. Doubling M improves (never hurts) the hybrid's
+  // parallelism and keeps the paired systems adjacent in memory.
+  tridiag::SystemBatch<T> doubled(2 * m_count, n, batch.layout());
+  std::vector<T> gamma(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    auto src = batch.system(m);
+    gamma[m] = tridiag::periodic_correct_matrix(src, corners[m].alpha,
+                                                corners[m].beta);
+    auto yd = doubled.system(2 * m);
+    auto zu = doubled.system(2 * m + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      yd.a[i] = zu.a[i] = src.a[i];
+      yd.b[i] = zu.b[i] = src.b[i];
+      yd.c[i] = zu.c[i] = src.c[i];
+      yd.d[i] = src.d[i];
+      zu.d[i] = T(0);
+    }
+    zu.d[0] = gamma[m];
+    zu.d[n - 1] = corners[m].beta;
+  }
+
+  PeriodicReport report;
+  report.hybrid = hybrid_solve(dev, doubled, opts);
+
+  // Sherman-Morrison combine (host): x = y - z (v.y)/(1 + v.z).
+  for (std::size_t m = 0; m < m_count; ++m) {
+    auto y = doubled.system(2 * m).d;
+    auto z = doubled.system(2 * m + 1).d;
+    const auto st = tridiag::periodic_combine(
+        y, tridiag::StridedView<const T>(z.data(), z.size(), z.stride()),
+        corners[m].alpha, gamma[m]);
+    if (!st.ok() && report.status.ok()) report.status = st;
+    auto out = batch.system(m);
+    for (std::size_t i = 0; i < n; ++i) out.d[i] = y[i];
+  }
+  return report;
+}
+
+template PeriodicReport periodic_solve_gpu<float>(
+    const gpusim::DeviceSpec&, tridiag::SystemBatch<float>&,
+    std::span<const PeriodicCorners<float>>, const HybridOptions&);
+template PeriodicReport periodic_solve_gpu<double>(
+    const gpusim::DeviceSpec&, tridiag::SystemBatch<double>&,
+    std::span<const PeriodicCorners<double>>, const HybridOptions&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,47 @@
+#pragma once
+// Batched periodic tridiagonal solves on the simulated GPU.
+//
+// Sherman-Morrison turns each periodic system into two plain solves with
+// a shared corrected matrix (see tridiag/periodic.hpp). For a batch of M
+// periodic systems we build one 2M-system batch (each matrix duplicated,
+// rhs = d for the first copy and the rank-one column u for the second),
+// run the paper's hybrid solver once, and combine on the host — i.e. the
+// extension composes entirely out of the public API, and doubling M only
+// helps the hybrid's parallelism.
+
+#include <span>
+
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "tridiag/periodic.hpp"
+
+namespace tridsolve::gpu {
+
+/// Per-system corner entries of the periodic batch.
+template <typename T>
+struct PeriodicCorners {
+  T alpha;  ///< A[0][n-1]
+  T beta;   ///< A[n-1][0]
+};
+
+struct PeriodicReport {
+  HybridReport hybrid;            ///< the one batched hybrid solve (2M systems)
+  tridiag::SolveStatus status;    ///< combine-phase status
+};
+
+/// Solve M periodic systems in place: `batch` holds the band (a, b, c, d)
+/// and `corners[m]` the two corner entries of system m. The solution
+/// lands in batch.d(). Requires system_size >= 3.
+template <typename T>
+PeriodicReport periodic_solve_gpu(const gpusim::DeviceSpec& dev,
+                                  tridiag::SystemBatch<T>& batch,
+                                  std::span<const PeriodicCorners<T>> corners,
+                                  const HybridOptions& opts = {});
+
+extern template PeriodicReport periodic_solve_gpu<float>(
+    const gpusim::DeviceSpec&, tridiag::SystemBatch<float>&,
+    std::span<const PeriodicCorners<float>>, const HybridOptions&);
+extern template PeriodicReport periodic_solve_gpu<double>(
+    const gpusim::DeviceSpec&, tridiag::SystemBatch<double>&,
+    std::span<const PeriodicCorners<double>>, const HybridOptions&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,114 @@
+#include "gpu_solvers/pthomas_kernel.hpp"
+
+#include <stdexcept>
+
+namespace tridsolve::gpu {
+
+namespace {
+
+/// Global thread id -> system index; idle lanes past the end do nothing
+/// (but still occupy warp slots, as on hardware).
+template <typename T, typename F>
+gpusim::LaunchStats launch_per_system(const gpusim::DeviceSpec& dev,
+                                      std::span<const tridiag::SystemRef<T>> systems,
+                                      int block_threads, F&& per_system) {
+  const std::size_t total = systems.size();
+  const std::size_t grid =
+      (total + static_cast<std::size_t>(block_threads) - 1) /
+      static_cast<std::size_t>(block_threads);
+  return gpusim::launch(dev, {grid, block_threads}, [&](gpusim::BlockContext& ctx) {
+    ctx.phase([&](gpusim::ThreadCtx& t) {
+      const std::size_t sid =
+          ctx.block_id() * static_cast<std::size_t>(block_threads) +
+          static_cast<std::size_t>(t.tid());
+      if (sid < total) per_system(t, sid);
+    });
+  });
+}
+
+}  // namespace
+
+template <typename T>
+PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
+                           std::span<const tridiag::SystemRef<T>> systems,
+                           std::span<const tridiag::StridedView<T>> xout,
+                           int block_threads) {
+  PthomasStats stats;
+
+  // Forward reduction, in place: c <- c', d <- d'. One serialized memory
+  // round per row (the loads of row i gate the elimination row i+1 needs).
+  stats.forward = launch_per_system<T>(
+      dev, systems, block_threads, [&](gpusim::ThreadCtx& t, std::size_t sid) {
+        const tridiag::SystemRef<T>& s = systems[sid];
+        const std::size_t n = s.size();
+        T cp = T(0);
+        T dp = T(0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const T a = t.load(s.a.ptr(i));
+          const T b = t.load(s.b.ptr(i));
+          const T c = t.load(s.c.ptr(i));
+          const T d = t.load(s.d.ptr(i));
+          const T denom = b - cp * a;
+          const T inv = T(1) / denom;
+          cp = c * inv;
+          dp = (d - dp * a) * inv;
+          t.flops<T>(6);
+          t.divs<T>(1);
+          t.store(s.c.ptr(i), cp);
+          t.store(s.d.ptr(i), dp);
+          t.end_round();
+        }
+      });
+
+  stats.backward = pthomas_backward(dev, systems, xout, block_threads);
+  return stats;
+}
+
+template <typename T>
+gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
+                                     std::span<const tridiag::SystemRef<T>> systems,
+                                     std::span<const tridiag::StridedView<T>> xout,
+                                     int block_threads) {
+  if (!xout.empty() && xout.size() != systems.size()) {
+    throw std::invalid_argument("pthomas_backward: xout/systems size mismatch");
+  }
+  // Backward substitution: x_i = d'_i - c'_i x_{i+1}, walking rows from the
+  // end; x_{i+1} stays in a register between iterations.
+  return launch_per_system<T>(
+      dev, systems, block_threads, [&](gpusim::ThreadCtx& t, std::size_t sid) {
+        const tridiag::SystemRef<T>& s = systems[sid];
+        const std::size_t n = s.size();
+        if (n == 0) return;
+        auto x_at = [&](std::size_t i) {
+          return xout.empty() ? s.d.ptr(i) : xout[sid].ptr(i);
+        };
+        T x_next = t.load(s.d.ptr(n - 1));  // x_{n-1} = d'_{n-1}
+        t.store(x_at(n - 1), x_next);
+        t.end_round();
+        for (std::size_t i = n - 1; i-- > 0;) {
+          const T cp = t.load(s.c.ptr(i));
+          const T dp = t.load(s.d.ptr(i));
+          const T x = dp - cp * x_next;
+          t.flops<T>(2);
+          t.store(x_at(i), x);
+          x_next = x;
+          t.end_round();
+        }
+      });
+}
+
+template PthomasStats pthomas_solve<float>(const gpusim::DeviceSpec&,
+                                           std::span<const tridiag::SystemRef<float>>,
+                                           std::span<const tridiag::StridedView<float>>,
+                                           int);
+template PthomasStats pthomas_solve<double>(
+    const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<double>>,
+    std::span<const tridiag::StridedView<double>>, int);
+template gpusim::LaunchStats pthomas_backward<float>(
+    const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<float>>,
+    std::span<const tridiag::StridedView<float>>, int);
+template gpusim::LaunchStats pthomas_backward<double>(
+    const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<double>>,
+    std::span<const tridiag::StridedView<double>>, int);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,103 @@
+#include "gpu_solvers/registry.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "gpu_solvers/cr_kernel.hpp"
+#include "gpu_solvers/davidson.hpp"
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/partition_kernel.hpp"
+#include "gpu_solvers/zhang_pcr_thomas.hpp"
+
+namespace tridsolve::gpu {
+
+const char* solver_name(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::hybrid: return "hybrid(tiledPCR+pThomas)";
+    case SolverKind::hybrid_fused: return "hybrid(fused)";
+    case SolverKind::pthomas_only: return "p-Thomas only";
+    case SolverKind::zhang: return "Zhang in-shared";
+    case SolverKind::cr: return "CR in-shared";
+    case SolverKind::davidson: return "Davidson stepped";
+    case SolverKind::partition: return "register-packed partition";
+  }
+  return "?";
+}
+
+std::vector<SolverKind> all_solver_kinds() {
+  return {SolverKind::hybrid, SolverKind::hybrid_fused, SolverKind::pthomas_only,
+          SolverKind::zhang, SolverKind::cr, SolverKind::davidson,
+          SolverKind::partition};
+}
+
+template <typename T>
+SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
+                        const tridiag::SystemBatch<T>& batch) {
+  SolveOutcome out;
+  auto copy = batch.clone();
+  try {
+    switch (kind) {
+      case SolverKind::hybrid:
+      case SolverKind::hybrid_fused:
+      case SolverKind::pthomas_only: {
+        HybridOptions opts;
+        if (kind == SolverKind::hybrid_fused) opts.fuse = true;
+        if (kind == SolverKind::pthomas_only) opts.force_k = 0;
+        const auto rep = hybrid_solve(dev, copy, opts);
+        out.supported = true;
+        out.time_us = rep.total_us();
+        out.launches = rep.timeline.segments().size();
+        out.detail = "k=" + std::to_string(rep.k);
+        break;
+      }
+      case SolverKind::zhang: {
+        if (!zhang_fits(dev, batch.system_size(), sizeof(T))) {
+          out.detail = "system exceeds shared memory";
+          return out;
+        }
+        const auto stats = zhang_solve(dev, copy);
+        out.supported = true;
+        out.time_us = stats.timing.time_us;
+        out.launches = 1;
+        break;
+      }
+      case SolverKind::cr: {
+        if (!zhang_fits(dev, std::bit_ceil(batch.system_size()), sizeof(T))) {
+          out.detail = "padded system exceeds shared memory";
+          return out;
+        }
+        const auto stats = cr_kernel_solve(dev, copy);
+        out.supported = true;
+        out.time_us = stats.timing.time_us;
+        out.launches = 1;
+        break;
+      }
+      case SolverKind::davidson: {
+        const auto rep = davidson_solve(dev, copy);
+        out.supported = true;
+        out.time_us = rep.total_us();
+        out.launches = rep.timeline.segments().size();
+        out.detail = std::to_string(rep.global_steps) + " global steps";
+        break;
+      }
+      case SolverKind::partition: {
+        const auto rep = partition_solve_gpu(dev, copy, {});
+        out.supported = true;
+        out.time_us = rep.total_us();
+        out.launches = rep.timeline.segments().size();
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.supported = false;
+    out.detail = e.what();
+  }
+  return out;
+}
+
+template SolveOutcome run_solver<float>(SolverKind, const gpusim::DeviceSpec&,
+                                        const tridiag::SystemBatch<float>&);
+template SolveOutcome run_solver<double>(SolverKind, const gpusim::DeviceSpec&,
+                                         const tridiag::SystemBatch<double>&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,51 @@
+#pragma once
+// A small registry over every GPU solver in the library, so benches,
+// examples and what-if studies can sweep solver families uniformly and
+// handle per-solver applicability (e.g. in-shared methods' size cap)
+// without bespoke glue.
+
+#include <string>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+#include "tridiag/layout.hpp"
+
+namespace tridsolve::gpu {
+
+enum class SolverKind {
+  hybrid,        ///< the paper's tiled-PCR + p-Thomas (Table III heuristic)
+  hybrid_fused,  ///< same with §III.C kernel fusion
+  pthomas_only,  ///< force k = 0 (pure p-Thomas)
+  zhang,         ///< in-shared PCR-Thomas [16][17]
+  cr,            ///< in-shared cyclic reduction [3][10]
+  davidson,      ///< stepped global PCR + in-shared finish [19]
+  partition,     ///< register-packed block partition (SPIKE-style, [18])
+};
+
+[[nodiscard]] const char* solver_name(SolverKind kind) noexcept;
+[[nodiscard]] std::vector<SolverKind> all_solver_kinds();
+
+/// Outcome of running one solver on one batch.
+struct SolveOutcome {
+  bool supported = false;     ///< false: configuration rejected (with why)
+  double time_us = 0.0;       ///< simulated execution time
+  std::size_t launches = 0;   ///< kernel launches performed
+  std::string detail;         ///< rejection reason or extra info
+};
+
+/// Run `kind` over a fresh copy of `batch` (the input is not modified;
+/// callers that want the solution should use the solver APIs directly).
+/// Unsupported configurations return supported = false instead of
+/// throwing, so sweeps can tabulate applicability.
+template <typename T>
+SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
+                        const tridiag::SystemBatch<T>& batch);
+
+extern template SolveOutcome run_solver<float>(SolverKind,
+                                               const gpusim::DeviceSpec&,
+                                               const tridiag::SystemBatch<float>&);
+extern template SolveOutcome run_solver<double>(SolverKind,
+                                                const gpusim::DeviceSpec&,
+                                                const tridiag::SystemBatch<double>&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,259 @@
+#include "gpu_solvers/tiled_pcr_kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "tridiag/pcr.hpp"
+
+namespace tridsolve::gpu {
+
+namespace {
+
+/// One row in simulated shared memory.
+template <typename T>
+struct SRow {
+  T a, b, c, d;
+};
+
+template <typename T>
+constexpr SRow<T> identity_srow() noexcept {
+  return {T(0), T(1), T(0), T(0)};
+}
+
+}  // namespace
+
+std::size_t tiled_pcr_window_shared_bytes(unsigned k, std::size_t c,
+                                          std::size_t elem_size) {
+  const std::size_t s = c << k;
+  const std::size_t rows = 2 * s + 2 * tridiag::pcr_halo(k);
+  return rows * 4 * elem_size;
+}
+
+template <typename T>
+TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
+                               std::span<const TiledPcrWork<T>> work,
+                               const TiledPcrConfig& cfg) {
+  if (cfg.k == 0) throw std::invalid_argument("tiled_pcr_kernel: k must be >= 1");
+  const int threads = 1 << cfg.k;
+  if (threads > dev.max_threads_per_block) {
+    throw std::invalid_argument("tiled_pcr_kernel: 2^k exceeds block limit");
+  }
+  const std::size_t S = cfg.c << cfg.k;                       // sub-tile rows
+  const std::ptrdiff_t halo = static_cast<std::ptrdiff_t>(tridiag::pcr_halo(cfg.k));
+  const std::size_t warm = (static_cast<std::size_t>(halo) + S - 1) / S;
+
+  if (cfg.fuse_thomas_forward) {
+    for (const auto& w : work) {
+      if (w.r0 != 0 || w.r1 != w.sys.size()) {
+        throw std::invalid_argument(
+            "tiled_pcr_kernel: fusion requires whole-system windows");
+      }
+    }
+  }
+  for (const auto& w : work) {
+    const bool aliases = w.out.a.data() == w.sys.a.data();
+    if (aliases && (w.r0 != 0 || w.r1 != w.sys.size())) {
+      throw std::invalid_argument(
+          "tiled_pcr_kernel: split-system windows must not write in place "
+          "(halo data race)");
+    }
+  }
+
+  const std::size_t G = std::max<std::size_t>(1, cfg.systems_per_block);
+  const std::size_t grid = (work.size() + G - 1) / G;
+
+  TiledPcrStats stats;
+  for (const auto& w : work) stats.rows_total += w.r1 - w.r0;
+
+  stats.launch = gpusim::launch(dev, {grid, threads}, [&](gpusim::BlockContext& ctx) {
+    // ---- Window state for this block -----------------------------------
+    struct Window {
+      TiledPcrWork<T> w;
+      std::ptrdiff_t P;         // load cursor (start of current sub-tile)
+      std::size_t iters;        // total iterations for this window
+      std::span<SRow<T>> buf[2];           // ping-pong level batches
+      std::vector<std::span<SRow<T>>> tails;  // tails[j]: level-j tail, 2^{j+1} rows
+    };
+    const std::size_t first = ctx.block_id() * G;
+    const std::size_t count = std::min(G, work.size() - std::min(work.size(), first));
+    if (count == 0 || first >= work.size()) return;
+
+    std::vector<Window> win(count);
+    std::size_t max_iters = 0;
+    for (std::size_t g = 0; g < count; ++g) {
+      auto& wd = win[g];
+      wd.w = work[first + g];
+      wd.P = static_cast<std::ptrdiff_t>(wd.w.r0) -
+             static_cast<std::ptrdiff_t>(warm * S);
+      const std::size_t len = wd.w.r1 - wd.w.r0;
+      wd.iters = warm + (len + static_cast<std::size_t>(halo) + S - 1) / S;
+      wd.buf[0] = ctx.shared<SRow<T>>(S);
+      wd.buf[1] = ctx.shared<SRow<T>>(S);
+      wd.tails.resize(cfg.k);
+      for (unsigned j = 0; j < cfg.k; ++j) {
+        wd.tails[j] = ctx.shared<SRow<T>>(std::size_t{2} << j);
+      }
+      max_iters = std::max(max_iters, wd.iters);
+    }
+
+    // "Registers" of the fused Thomas forward: per thread, per window.
+    std::vector<T> fwd_cp(count * threads, T(0));
+    std::vector<T> fwd_dp(count * threads, T(0));
+
+    // ---- Init: identity tails (lead-in state of Fig. 10) ----------------
+    ctx.phase([&](gpusim::ThreadCtx& t) {
+      for (std::size_t g = 0; g < count; ++g) {
+        for (unsigned j = 0; j < cfg.k; ++j) {
+          auto tail = win[g].tails[j];
+          for (std::size_t i = static_cast<std::size_t>(t.tid()); i < tail.size();
+               i += static_cast<std::size_t>(threads)) {
+            tail[i] = identity_srow<T>();
+          }
+        }
+      }
+    });
+
+    for (std::size_t iter = 0; iter < max_iters; ++iter) {
+      // ---- LOAD: level-0 batch into buf[0]; one memory round ------------
+      ctx.phase([&](gpusim::ThreadCtx& t) {
+        for (std::size_t g = 0; g < count; ++g) {
+          auto& wd = win[g];
+          if (iter >= wd.iters) continue;
+          const auto n = static_cast<std::ptrdiff_t>(wd.w.sys.size());
+          for (std::size_t cc = 0; cc < cfg.c; ++cc) {
+            const std::size_t idx = cc * static_cast<std::size_t>(threads) +
+                                    static_cast<std::size_t>(t.tid());
+            const std::ptrdiff_t pos = wd.P + static_cast<std::ptrdiff_t>(idx);
+            if (pos >= 0 && pos < n) {
+              const auto u = static_cast<std::size_t>(pos);
+              wd.buf[0][idx] = SRow<T>{t.load(wd.w.sys.a.ptr(u)),
+                                       t.load(wd.w.sys.b.ptr(u)),
+                                       t.load(wd.w.sys.c.ptr(u)),
+                                       t.load(wd.w.sys.d.ptr(u))};
+              ++stats.row_loads;
+            } else {
+              wd.buf[0][idx] = identity_srow<T>();
+            }
+          }
+        }
+      });
+
+      // ---- k PCR levels, each: combine phase + tail-save phase ----------
+      for (unsigned j = 1; j <= cfg.k; ++j) {
+        const std::size_t reach = std::size_t{1} << (j - 1);  // 2^{j-1}
+        const std::size_t span_j = std::size_t{2} << (j - 1); // 2^j
+        const unsigned src_sel = (j - 1) & 1u;
+        const unsigned dst_sel = j & 1u;
+
+        ctx.phase([&](gpusim::ThreadCtx& t) {
+          for (std::size_t g = 0; g < count; ++g) {
+            auto& wd = win[g];
+            if (iter >= wd.iters) continue;
+            auto src = wd.buf[src_sel];
+            auto dst = wd.buf[dst_sel];
+            auto tail = wd.tails[j - 1];
+            // Read level j-1 at batch-relative index `rel`; rel < 0 comes
+            // from the tail cache holding the previous sub-tile's last
+            // 2^j values.
+            auto read = [&](std::ptrdiff_t rel) -> const SRow<T>& {
+              return rel >= 0 ? src[static_cast<std::size_t>(rel)]
+                              : tail[static_cast<std::size_t>(
+                                    rel + static_cast<std::ptrdiff_t>(span_j))];
+            };
+            for (std::size_t cc = 0; cc < cfg.c; ++cc) {
+              const auto idx = static_cast<std::ptrdiff_t>(
+                  cc * static_cast<std::size_t>(threads) +
+                  static_cast<std::size_t>(t.tid()));
+              const SRow<T>& lo = read(idx - static_cast<std::ptrdiff_t>(span_j));
+              const SRow<T>& mid = read(idx - static_cast<std::ptrdiff_t>(reach));
+              const SRow<T>& hi = read(idx);
+              // PCR elimination (Eqs. 5-6).
+              const T k1 = mid.a / lo.b;
+              const T k2 = mid.c / hi.b;
+              dst[static_cast<std::size_t>(idx)] =
+                  SRow<T>{-lo.a * k1, mid.b - lo.c * k1 - hi.a * k2, -hi.c * k2,
+                          mid.d - lo.d * k1 - hi.d * k2};
+              t.flops<T>(10);
+              t.divs<T>(2);
+              // Count only eliminations of real rows for the redundancy
+              // bookkeeping (identity warm-up/drain rows are free lanes).
+              const std::ptrdiff_t pos =
+                  wd.P - (static_cast<std::ptrdiff_t>(span_j) - 1) + idx;
+              if (pos >= 0 && pos < static_cast<std::ptrdiff_t>(wd.w.sys.size())) {
+                ++stats.eliminations;
+              }
+            }
+          }
+        });
+
+        // Save the level j-1 tail for the next sub-tile before buffer
+        // (j-1)&1 is overwritten by level j+1.
+        ctx.phase([&](gpusim::ThreadCtx& t) {
+          for (std::size_t g = 0; g < count; ++g) {
+            auto& wd = win[g];
+            if (iter >= wd.iters) continue;
+            const auto tid = static_cast<std::size_t>(t.tid());
+            if (tid < span_j) {
+              wd.tails[j - 1][tid] = wd.buf[src_sel][S - span_j + tid];
+            }
+          }
+        });
+      }
+
+      // ---- STORE: level-k batch back to global (or fused forward) -------
+      ctx.phase([&](gpusim::ThreadCtx& t) {
+        for (std::size_t g = 0; g < count; ++g) {
+          auto& wd = win[g];
+          if (iter >= wd.iters) continue;
+          auto out = wd.buf[cfg.k & 1u];
+          for (std::size_t cc = 0; cc < cfg.c; ++cc) {
+            const std::size_t idx = cc * static_cast<std::size_t>(threads) +
+                                    static_cast<std::size_t>(t.tid());
+            const std::ptrdiff_t pos = wd.P - halo + static_cast<std::ptrdiff_t>(idx);
+            if (pos < static_cast<std::ptrdiff_t>(wd.w.r0) ||
+                pos >= static_cast<std::ptrdiff_t>(wd.w.r1)) {
+              continue;
+            }
+            const auto u = static_cast<std::size_t>(pos);
+            const SRow<T>& row = out[idx];
+            if (cfg.fuse_thomas_forward) {
+              // Thomas forward reduction of reduced system r(t), entirely
+              // from shared/registers: store only (c', d').
+              T& cp = fwd_cp[g * static_cast<std::size_t>(threads) +
+                             static_cast<std::size_t>(t.tid())];
+              T& dp = fwd_dp[g * static_cast<std::size_t>(threads) +
+                             static_cast<std::size_t>(t.tid())];
+              const T denom = row.b - cp * row.a;
+              const T inv = T(1) / denom;
+              cp = row.c * inv;
+              dp = (row.d - dp * row.a) * inv;
+              t.flops<T>(6);
+              t.divs<T>(1);
+              t.store(wd.w.out.c.ptr(u), cp);
+              t.store(wd.w.out.d.ptr(u), dp);
+            } else {
+              t.store(wd.w.out.a.ptr(u), row.a);
+              t.store(wd.w.out.b.ptr(u), row.b);
+              t.store(wd.w.out.c.ptr(u), row.c);
+              t.store(wd.w.out.d.ptr(u), row.d);
+            }
+          }
+        }
+      });
+
+      for (auto& wd : win) wd.P += static_cast<std::ptrdiff_t>(S);
+    }
+  });
+
+  return stats;
+}
+
+template TiledPcrStats tiled_pcr_kernel<float>(const gpusim::DeviceSpec&,
+                                               std::span<const TiledPcrWork<float>>,
+                                               const TiledPcrConfig&);
+template TiledPcrStats tiled_pcr_kernel<double>(const gpusim::DeviceSpec&,
+                                                std::span<const TiledPcrWork<double>>,
+                                                const TiledPcrConfig&);
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,46 @@
+#pragma once
+// Algorithm-transition logic (paper §III.D).
+//
+// The hybrid must decide how many PCR steps k to run before handing the
+// 2^k * M independent systems to p-Thomas. Two mechanisms are provided:
+//
+//  * the analytic elimination-step cost model of Table II, parameterized
+//    by M (number of systems), n (log2 of system size) and P (the
+//    machine's usable parallelism) — used by `model_best_k`;
+//  * the empirical GTX480 heuristic of Table III — used by `heuristic_k`
+//    and as the default in the hybrid solver, exactly as in the paper
+//    ("the closed-form solution cannot easily be expressed and found
+//    during runtime. Instead, we present empirical heuristic values").
+
+#include <cstddef>
+
+#include "gpusim/device_spec.hpp"
+
+namespace tridsolve::gpu {
+
+/// Elimination-step cost of plain Thomas on M systems of 2^n rows with
+/// P-way parallelism (Table II row 1).
+[[nodiscard]] double cost_thomas(std::size_t m, unsigned n, double p) noexcept;
+
+/// Cost of full PCR (Table II row 2).
+[[nodiscard]] double cost_pcr(std::size_t m, unsigned n, double p) noexcept;
+
+/// Cost of k-step (tiled) PCR followed by p-Thomas (Table II row 3).
+[[nodiscard]] double cost_hybrid(std::size_t m, unsigned n, double p,
+                                 unsigned k) noexcept;
+
+/// argmin_k cost_hybrid for k in [0, n], capped so 2^k threads fit a block.
+[[nodiscard]] unsigned model_best_k(std::size_t m, std::size_t system_size,
+                                    const gpusim::DeviceSpec& dev) noexcept;
+
+/// The paper's empirical GTX480 transition table (Table III):
+///   M < 16 -> 8, 16 <= M < 32 -> 7, 32 <= M < 512 -> 6,
+///   512 <= M < 1024 -> 5, M >= 1024 -> 0.
+/// k is additionally clamped so 2^k does not exceed the system size.
+[[nodiscard]] unsigned heuristic_k(std::size_t m, std::size_t system_size) noexcept;
+
+/// An estimate of the machine's usable thread parallelism P for the cost
+/// model (resident warps x warp width across SMs).
+[[nodiscard]] double machine_parallelism(const gpusim::DeviceSpec& dev) noexcept;
+
+}  // namespace tridsolve::gpu

@@ -1,0 +1,86 @@
+#pragma once
+// Shared-memory bank-conflict accounting.
+//
+// Fermi-class shared memory is organized as 32 four-byte banks; lanes of
+// a warp touching distinct words in the same bank serialize. Kernels that
+// opt in route their shared accesses through ThreadCtx::sload/sstore;
+// lockstep accesses are grouped by each lane's access ordinal within the
+// phase, and every group is charged
+//
+//   serializations = max over banks of (distinct words in that bank)
+//   extra          = serializations - ceil(access bytes / bank width)
+//
+// so a conflict-free access pattern costs zero extra (including 8-byte
+// accesses, which inherently take two passes). This is the effect
+// Göddeke & Strzodka's bank-conflict-free CR layout [10] eliminates; the
+// banks ablation bench measures it on both CR layouts.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/costs.hpp"
+
+namespace tridsolve::gpusim {
+
+class BankTracker {
+ public:
+  BankTracker(int num_banks, int bank_width_bytes, KernelCosts* costs)
+      : banks_(num_banks), width_(bank_width_bytes), costs_(costs) {}
+
+  /// Record one access: the `ordinal`-th shared access of the current
+  /// lane in this phase.
+  void record(std::size_t ordinal, const void* addr, std::size_t size) {
+    if (ordinal >= groups_.size()) groups_.resize(ordinal + 1);
+    auto& group = groups_[ordinal];
+    const auto first = reinterpret_cast<std::uintptr_t>(addr) / width_;
+    const auto last =
+        (reinterpret_cast<std::uintptr_t>(addr) + size - 1) / width_;
+    for (std::uintptr_t w = first; w <= last; ++w) {
+      insert_unique(group.words, w);
+    }
+    group.max_size = group.max_size > size ? group.max_size : size;
+    ++costs_->shared_accesses;
+  }
+
+  /// Phase end: charge each ordinal group's serialization overhead.
+  void flush() {
+    for (const auto& group : groups_) {
+      std::size_t worst = 0;
+      // Count distinct words per bank; small linear scans (<= 64 words).
+      for (std::size_t i = 0; i < group.words.size(); ++i) {
+        std::size_t in_bank = 0;
+        const auto bank_i = group.words[i] % banks_;
+        for (std::uintptr_t w : group.words) {
+          in_bank += (w % banks_) == bank_i;
+        }
+        worst = worst > in_bank ? worst : in_bank;
+      }
+      const std::size_t baseline = (group.max_size + width_ - 1) / width_;
+      if (worst > baseline) {
+        costs_->shared_serializations += worst - baseline;
+      }
+    }
+    groups_.clear();
+  }
+
+ private:
+  struct Group {
+    std::vector<std::uintptr_t> words;
+    std::size_t max_size = 0;
+  };
+
+  static void insert_unique(std::vector<std::uintptr_t>& v, std::uintptr_t w) {
+    for (std::uintptr_t existing : v) {
+      if (existing == w) return;
+    }
+    v.push_back(w);
+  }
+
+  std::size_t banks_;
+  std::size_t width_;
+  KernelCosts* costs_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace tridsolve::gpusim

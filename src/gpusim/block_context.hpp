@@ -1,0 +1,193 @@
+#pragma once
+// Functional execution context for one simulated thread block.
+//
+// A kernel is a callable `void(BlockContext&)`. Inside it, computation is
+// organized into *phases*: `ctx.phase([&](ThreadCtx& t) { ... })` runs the
+// lambda once per thread id, with an implicit block-wide barrier at the
+// end — the direct analogue of the code between two __syncthreads() in a
+// CUDA kernel. Within a phase each thread:
+//   * reads/writes global memory through t.load / t.store (functionally
+//     real, and recorded for per-warp coalescing analysis),
+//   * charges arithmetic through t.flops<T>/t.divs<T>,
+//   * marks serialized-dependence boundaries with t.end_round() (e.g. one
+//     iteration of a forward sweep = one exposed memory round).
+//
+// Threads of a block run sequentially in tid order; algorithms must be
+// race-free between barriers exactly as on real hardware, and the
+// round-indexed coalescer reconstructs the lockstep warp view.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gpusim/bank_tracker.hpp"
+#include "gpusim/coalescer.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/shared_memory.hpp"
+
+namespace tridsolve::gpusim {
+
+class BlockContext;
+
+/// Per-thread handle passed to phase lambdas.
+class ThreadCtx {
+ public:
+  ThreadCtx(BlockContext* block, int tid) noexcept : block_(block), tid_(tid) {}
+
+  [[nodiscard]] int tid() const noexcept { return tid_; }
+
+  /// Functional global load, recorded for coalescing/bandwidth accounting.
+  template <typename T>
+  [[nodiscard]] T load(const T* p);
+
+  /// Functional global store, recorded likewise.
+  template <typename T>
+  void store(T* p, T v);
+
+  /// Charge n arithmetic op-equivalents at T's precision.
+  template <typename T>
+  void flops(double n);
+
+  /// Charge n divisions (weighted by the device's div_op_cost).
+  template <typename T>
+  void divs(double n);
+
+  /// Instrumented *shared-memory* load/store: functionally identical to a
+  /// plain access, but recorded for bank-conflict accounting. Optional —
+  /// only kernels studying shared access patterns route through these.
+  template <typename T>
+  [[nodiscard]] T sload(const T* p);
+  template <typename T>
+  void sstore(T* p, T v);
+
+  /// Close the current dependent-load round: subsequent loads belong to a
+  /// new serialized memory round on this thread's critical path.
+  void end_round() noexcept { ++round_; }
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return round_; }
+
+ private:
+  BlockContext* block_;
+  int tid_;
+  std::size_t round_ = 0;
+  std::size_t shared_ordinal_ = 0;
+};
+
+/// One simulated thread block.
+class BlockContext {
+ public:
+  BlockContext(const DeviceSpec& dev, std::size_t block_id, std::size_t grid_blocks,
+               int block_threads, SharedArena& arena, KernelCosts& costs)
+      : dev_(dev),
+        block_id_(block_id),
+        grid_blocks_(grid_blocks),
+        block_threads_(block_threads),
+        arena_(arena),
+        costs_(costs) {
+    assert(block_threads_ > 0);
+  }
+
+  [[nodiscard]] std::size_t block_id() const noexcept { return block_id_; }
+  [[nodiscard]] std::size_t grid_blocks() const noexcept { return grid_blocks_; }
+  [[nodiscard]] int block_threads() const noexcept { return block_threads_; }
+  [[nodiscard]] const DeviceSpec& device() const noexcept { return dev_; }
+
+  /// Allocate shared memory for this block (throws if over capacity).
+  template <typename T>
+  [[nodiscard]] std::span<T> shared(std::size_t n) {
+    return {arena_.allocate<T>(n), n};
+  }
+
+  /// Run one barrier-delimited phase: fn(ThreadCtx&) for every tid.
+  template <typename F>
+  void phase(F&& fn) {
+    const int warp = dev_.warp_size;
+    const std::size_t num_warps = (static_cast<std::size_t>(block_threads_) + warp - 1) / warp;
+    if (coalescers_.size() < num_warps) {
+      coalescers_.reserve(num_warps);
+      banks_.reserve(num_warps);
+      while (coalescers_.size() < num_warps) {
+        coalescers_.emplace_back(dev_.transaction_bytes, &costs_);
+        banks_.emplace_back(dev_.shared_banks, dev_.shared_bank_width, &costs_);
+      }
+    }
+    for (int tid = 0; tid < block_threads_; ++tid) {
+      current_warp_ = static_cast<std::size_t>(tid / warp);
+      ThreadCtx t(this, tid);
+      fn(t);
+    }
+    for (auto& c : coalescers_) {
+      c.flush();
+    }
+    for (auto& b : banks_) {
+      b.flush();
+    }
+    ++costs_.barriers;
+  }
+
+  KernelCosts& costs() noexcept { return costs_; }
+
+ private:
+  friend class ThreadCtx;
+
+  void record_access(const void* p, std::size_t size, bool is_write,
+                     std::size_t round) {
+    coalescers_[current_warp_].record(p, size, is_write, round);
+  }
+
+  void record_shared(const void* p, std::size_t size, std::size_t ordinal) {
+    banks_[current_warp_].record(ordinal, p, size);
+  }
+
+  const DeviceSpec& dev_;
+  std::size_t block_id_;
+  std::size_t grid_blocks_;
+  int block_threads_;
+  SharedArena& arena_;
+  KernelCosts& costs_;
+  std::vector<WarpCoalescer> coalescers_;
+  std::vector<BankTracker> banks_;
+  std::size_t current_warp_ = 0;
+};
+
+template <typename T>
+T ThreadCtx::load(const T* p) {
+  block_->record_access(p, sizeof(T), /*is_write=*/false, round_);
+  return *p;
+}
+
+template <typename T>
+void ThreadCtx::store(T* p, T v) {
+  block_->record_access(p, sizeof(T), /*is_write=*/true, round_);
+  *p = v;
+}
+
+template <typename T>
+T ThreadCtx::sload(const T* p) {
+  block_->record_shared(p, sizeof(T), shared_ordinal_++);
+  return *p;
+}
+
+template <typename T>
+void ThreadCtx::sstore(T* p, T v) {
+  block_->record_shared(p, sizeof(T), shared_ordinal_++);
+  *p = v;
+}
+
+template <typename T>
+void ThreadCtx::flops(double n) {
+  if constexpr (sizeof(T) == 8) {
+    block_->costs_.ops_f64 += n;
+  } else {
+    block_->costs_.ops_f32 += n;
+  }
+}
+
+template <typename T>
+void ThreadCtx::divs(double n) {
+  flops<T>(n * block_->dev_.div_op_cost);
+}
+
+}  // namespace tridsolve::gpusim

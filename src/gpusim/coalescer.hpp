@@ -1,0 +1,70 @@
+#pragma once
+// Per-warp global-memory transaction accounting.
+//
+// Threads of a warp execute in lockstep; the addresses they touch within
+// one "round" (one dependent-load step, e.g. one iteration of the Thomas
+// forward sweep) coalesce into as few fixed-size segments as the access
+// pattern allows. The simulator executes threads of a block sequentially,
+// so each warp buffers its rounds' segment sets and flushes once the
+// whole warp has run the phase.
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "gpusim/costs.hpp"
+
+namespace tridsolve::gpusim {
+
+class WarpCoalescer {
+ public:
+  WarpCoalescer(std::size_t transaction_bytes, KernelCosts* costs)
+      : seg_bytes_(transaction_bytes), costs_(costs) {}
+
+  /// Record an access from the current thread in round `round`. Reads and
+  /// writes coalesce separately — a load and a store to the same segment
+  /// are two transactions on hardware.
+  void record(const void* addr, std::size_t size, bool is_write, std::size_t round) {
+    if (round >= rounds_.size()) rounds_.resize(round + 1);
+    auto& segs = is_write ? rounds_[round].writes : rounds_[round].reads;
+    const auto first = reinterpret_cast<std::uintptr_t>(addr) / seg_bytes_;
+    const auto last = (reinterpret_cast<std::uintptr_t>(addr) + size - 1) / seg_bytes_;
+    for (std::uintptr_t s = first; s <= last; ++s) insert_unique(segs, s);
+    costs_->bytes_requested += size;
+    if (is_write) {
+      ++costs_->stores;
+    } else {
+      ++costs_->loads;
+    }
+  }
+
+  /// Called once per warp after all of its threads finished the phase.
+  void flush() {
+    std::size_t tx = 0;
+    for (const auto& round : rounds_) tx += round.reads.size() + round.writes.size();
+    costs_->transactions += tx;
+    costs_->rounds_total += rounds_.size();
+    rounds_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return rounds_.empty(); }
+
+ private:
+  struct Round {
+    std::vector<std::uintptr_t> reads;
+    std::vector<std::uintptr_t> writes;
+  };
+
+  static void insert_unique(std::vector<std::uintptr_t>& v, std::uintptr_t s) {
+    for (std::uintptr_t existing : v) {
+      if (existing == s) return;
+    }
+    v.push_back(s);
+  }
+
+  std::size_t seg_bytes_;
+  KernelCosts* costs_;
+  std::vector<Round> rounds_;
+};
+
+}  // namespace tridsolve::gpusim

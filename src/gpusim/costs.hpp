@@ -1,0 +1,59 @@
+#pragma once
+// Aggregated cost counters recorded while a simulated kernel executes.
+
+#include <cstddef>
+
+namespace tridsolve::gpusim {
+
+/// Everything the timing model needs from a kernel run, plus bookkeeping
+/// counters benches/tests assert on directly (transactions, eliminations
+/// are counted by the kernels themselves where relevant).
+struct KernelCosts {
+  // Arithmetic, in op-equivalents (divisions pre-weighted by div_op_cost).
+  double ops_f32 = 0.0;
+  double ops_f64 = 0.0;
+
+  // Global memory.
+  std::size_t transactions = 0;     ///< coalesced 128-B segment transfers
+  std::size_t bytes_requested = 0;  ///< useful bytes (sum of access sizes)
+  std::size_t loads = 0;            ///< element loads issued
+  std::size_t stores = 0;           ///< element stores issued
+
+  // Latency structure.
+  std::size_t rounds_total = 0;  ///< serialized memory rounds, summed over warps
+  std::size_t warps = 0;         ///< warps that executed
+  std::size_t barriers = 0;      ///< block-wide barriers executed (summed)
+
+  // Shared memory (only for kernels that route accesses through
+  // ThreadCtx::sload/sstore).
+  std::size_t shared_accesses = 0;       ///< instrumented shared accesses
+  std::size_t shared_serializations = 0; ///< extra conflict replays (cycles/warp)
+
+  std::size_t shared_peak_bytes = 0;  ///< max shared-memory footprint per block
+
+  void merge(const KernelCosts& o) noexcept {
+    ops_f32 += o.ops_f32;
+    ops_f64 += o.ops_f64;
+    transactions += o.transactions;
+    bytes_requested += o.bytes_requested;
+    loads += o.loads;
+    stores += o.stores;
+    rounds_total += o.rounds_total;
+    warps += o.warps;
+    barriers += o.barriers;
+    shared_accesses += o.shared_accesses;
+    shared_serializations += o.shared_serializations;
+    shared_peak_bytes = shared_peak_bytes > o.shared_peak_bytes
+                            ? shared_peak_bytes
+                            : o.shared_peak_bytes;
+  }
+
+  /// Bandwidth efficiency: useful bytes / bytes moved (1.0 = perfectly
+  /// coalesced given 128-B transactions fully used).
+  [[nodiscard]] double coalescing_efficiency(std::size_t transaction_bytes) const noexcept {
+    const double moved = static_cast<double>(transactions * transaction_bytes);
+    return moved > 0.0 ? static_cast<double>(bytes_requested) / moved : 1.0;
+  }
+};
+
+}  // namespace tridsolve::gpusim

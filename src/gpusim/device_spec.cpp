@@ -1,0 +1,71 @@
+#include "gpusim/device_spec.hpp"
+
+namespace tridsolve::gpusim {
+
+DeviceSpec gtx480() {
+  DeviceSpec d;
+  d.name = "GTX480";
+  d.num_sms = 15;
+  d.warp_size = 32;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 8;
+  d.max_threads_per_block = 1024;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.shared_mem_per_block = 48 * 1024;
+  d.transaction_bytes = 128;
+  d.mem_bandwidth_gbps = 177.4;
+  d.mem_latency_cycles = 600.0;
+  d.clock_ghz = 1.401;
+  d.fp32_lanes_per_sm = 32.0;
+  d.fp64_lanes_per_sm = 4.0;  // GeForce cap: 1/8 of FP32
+  d.div_op_cost = 8.0;
+  d.barrier_cycles = 32.0;
+  d.kernel_launch_overhead_us = 6.0;
+  return d;
+}
+
+DeviceSpec gtx280() {
+  DeviceSpec d;
+  d.name = "GTX280";
+  d.num_sms = 30;
+  d.warp_size = 32;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 8;
+  d.max_threads_per_block = 512;
+  d.shared_mem_per_sm = 16 * 1024;
+  d.shared_mem_per_block = 16 * 1024;
+  d.transaction_bytes = 128;
+  d.mem_bandwidth_gbps = 141.7;
+  d.mem_latency_cycles = 550.0;
+  d.clock_ghz = 1.296;
+  d.fp32_lanes_per_sm = 8.0;   // GT200 SM: 8 SPs
+  d.fp64_lanes_per_sm = 1.0;   // 1/8 of FP32
+  d.div_op_cost = 8.0;
+  d.barrier_cycles = 32.0;
+  d.kernel_launch_overhead_us = 8.0;
+  return d;
+}
+
+DeviceSpec test_device() {
+  DeviceSpec d;
+  d.name = "test2sm";
+  d.num_sms = 2;
+  d.warp_size = 4;
+  d.max_threads_per_sm = 64;
+  d.max_blocks_per_sm = 4;
+  d.max_threads_per_block = 32;
+  d.shared_mem_per_sm = 1024;
+  d.shared_mem_per_block = 1024;
+  d.transaction_bytes = 32;
+  d.mem_bandwidth_gbps = 1.0;
+  d.mem_latency_cycles = 100.0;
+  d.clock_ghz = 1.0;
+  d.fp32_lanes_per_sm = 4.0;
+  d.fp64_lanes_per_sm = 1.0;
+  d.div_op_cost = 8.0;
+  d.barrier_cycles = 8.0;
+  d.kernel_launch_overhead_us = 1.0;
+  return d;
+}
+
+}  // namespace tridsolve::gpusim

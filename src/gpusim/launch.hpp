@@ -1,0 +1,107 @@
+#pragma once
+// Kernel launch engine: executes every block of a grid functionally,
+// aggregates costs, and prices the launch with the timing model.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/timing_model.hpp"
+
+namespace tridsolve::gpusim {
+
+struct LaunchConfig {
+  std::size_t grid_blocks = 1;
+  int block_threads = 1;
+};
+
+/// Result of one simulated launch.
+struct LaunchStats {
+  LaunchConfig config;
+  KernelCosts costs;
+  KernelTiming timing;
+};
+
+/// Execute `body(BlockContext&)` for every block of the grid.
+/// Throws std::invalid_argument for configurations a real driver would
+/// reject (too many threads per block, shared memory over capacity).
+template <typename KernelFn>
+LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
+  if (cfg.block_threads <= 0 || cfg.block_threads > dev.max_threads_per_block) {
+    throw std::invalid_argument("launch: invalid block size " +
+                                std::to_string(cfg.block_threads));
+  }
+  LaunchStats stats;
+  stats.config = cfg;
+
+  SharedArena arena(dev.shared_mem_per_block);
+  for (std::size_t b = 0; b < cfg.grid_blocks; ++b) {
+    arena.reset();
+    BlockContext ctx(dev, b, cfg.grid_blocks, cfg.block_threads, arena,
+                     stats.costs);
+    body(ctx);
+  }
+
+  const int warps_per_block =
+      (cfg.block_threads + dev.warp_size - 1) / dev.warp_size;
+  stats.costs.warps = cfg.grid_blocks * static_cast<std::size_t>(warps_per_block);
+  stats.costs.shared_peak_bytes = arena.peak();
+
+  stats.timing =
+      predict_kernel_time(dev, cfg.grid_blocks, cfg.block_threads, stats.costs);
+  if (!stats.timing.occupancy.launchable()) {
+    throw std::invalid_argument("launch: kernel not launchable (" +
+                                stats.timing.occupancy.limiter + " limit)");
+  }
+  return stats;
+}
+
+/// Accumulates the launches making up one logical solve (e.g. tiled PCR
+/// kernel + p-Thomas kernel), preserving the per-phase breakdown the
+/// paper reports in §IV ("the portion of tiled PCR in total execution
+/// time is 6.25% and 36.2% ...").
+class Timeline {
+ public:
+  void add(std::string label, const LaunchStats& stats) {
+    total_us_ += stats.timing.time_us;
+    segments_.push_back({std::move(label), stats});
+  }
+
+  /// Add a host-side cost (e.g. layout conversion charged to the GPU
+  /// timeline as an extra kernel in ablations).
+  void add_fixed(std::string label, double time_us) {
+    total_us_ += time_us;
+    LaunchStats s;
+    s.timing.time_us = time_us;
+    segments_.push_back({std::move(label), s});
+  }
+
+  [[nodiscard]] double total_us() const noexcept { return total_us_; }
+
+  struct Segment {
+    std::string label;
+    LaunchStats stats;
+  };
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Total time of all segments whose label starts with `prefix`.
+  [[nodiscard]] double time_with_prefix(const std::string& prefix) const {
+    double sum = 0.0;
+    for (const auto& seg : segments_) {
+      if (seg.label.rfind(prefix, 0) == 0) sum += seg.stats.timing.time_us;
+    }
+    return sum;
+  }
+
+ private:
+  double total_us_ = 0.0;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace tridsolve::gpusim

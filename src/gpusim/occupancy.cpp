@@ -1,0 +1,45 @@
+#include "gpusim/occupancy.hpp"
+
+#include <algorithm>
+
+namespace tridsolve::gpusim {
+
+Occupancy compute_occupancy(const DeviceSpec& dev, int block_threads,
+                            std::size_t shared_bytes_per_block) {
+  Occupancy occ;
+  if (block_threads <= 0 || block_threads > dev.max_threads_per_block ||
+      shared_bytes_per_block > dev.shared_mem_per_block) {
+    occ.limiter = "launch";
+    return occ;  // not launchable
+  }
+
+  const int by_threads = dev.max_threads_per_sm / block_threads;
+  const int by_blocks = dev.max_blocks_per_sm;
+  const int by_shared =
+      shared_bytes_per_block == 0
+          ? by_blocks
+          : static_cast<int>(dev.shared_mem_per_sm / shared_bytes_per_block);
+
+  occ.blocks_per_sm = std::max(0, std::min({by_threads, by_blocks, by_shared}));
+  if (occ.blocks_per_sm == 0) {
+    occ.limiter = "launch";
+    return occ;
+  }
+  if (occ.blocks_per_sm == by_shared && by_shared < by_blocks &&
+      by_shared <= by_threads) {
+    occ.limiter = "shared";
+  } else if (occ.blocks_per_sm == by_threads && by_threads <= by_blocks) {
+    occ.limiter = "threads";
+  } else {
+    occ.limiter = "blocks";
+  }
+
+  const int warps_per_block = (block_threads + dev.warp_size - 1) / dev.warp_size;
+  occ.resident_warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  const int max_warps = dev.max_threads_per_sm / dev.warp_size;
+  occ.fraction =
+      static_cast<double>(occ.resident_warps_per_sm) / static_cast<double>(max_warps);
+  return occ;
+}
+
+}  // namespace tridsolve::gpusim

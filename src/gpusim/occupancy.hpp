@@ -1,0 +1,28 @@
+#pragma once
+// SM occupancy calculation: how many blocks/warps of a launch can be
+// resident on one SM at once. This is the mechanism behind the paper's
+// key argument for fine-grained tiling — the tiled PCR's small shared
+// footprint admits more concurrent blocks than coarse-grained tiling,
+// hence better latency hiding (§III.A "advantages", §V).
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+
+namespace tridsolve::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int resident_warps_per_sm = 0;
+  double fraction = 0.0;          ///< resident warps / max warps
+  std::string limiter;            ///< "threads" | "blocks" | "shared" | "launch"
+
+  [[nodiscard]] bool launchable() const noexcept { return blocks_per_sm > 0; }
+};
+
+/// Compute occupancy for a (block_threads, shared_bytes_per_block) launch.
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& dev, int block_threads,
+                                          std::size_t shared_bytes_per_block);
+
+}  // namespace tridsolve::gpusim

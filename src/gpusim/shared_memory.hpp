@@ -1,0 +1,53 @@
+#pragma once
+// Simulated per-block shared memory (scratchpad) arena.
+//
+// Kernels allocate typed spans out of a fixed-capacity byte arena; the
+// high-water mark feeds the occupancy calculator exactly the way static
+// shared-memory declarations size a CUDA kernel's footprint. Exceeding
+// the device's per-block capacity throws — the same way a real launch
+// fails — so tests can assert capacity claims (e.g. Table I / Table III
+// configurations fitting in 48 KB).
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace tridsolve::gpusim {
+
+class SharedArena {
+ public:
+  explicit SharedArena(std::size_t capacity_bytes)
+      : storage_(capacity_bytes), capacity_(capacity_bytes) {}
+
+  /// Allocate n elements of T, aligned to alignof(T).
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t end = offset + n * sizeof(T);
+    if (end > capacity_) {
+      throw std::length_error("simulated shared memory exhausted: need " +
+                              std::to_string(end) + " bytes, capacity " +
+                              std::to_string(capacity_));
+    }
+    used_ = end;
+    if (used_ > peak_) peak_ = used_;
+    return reinterpret_cast<T*>(storage_.data() + offset);
+  }
+
+  /// Release all allocations (block retirement); the peak survives.
+  void reset() noexcept { used_ = 0; }
+
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace tridsolve::gpusim

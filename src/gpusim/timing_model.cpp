@@ -1,0 +1,62 @@
+#include "gpusim/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tridsolve::gpusim {
+
+KernelTiming predict_kernel_time(const DeviceSpec& dev, std::size_t grid_blocks,
+                                 int block_threads, const KernelCosts& costs) {
+  KernelTiming t;
+  t.overhead_us = dev.kernel_launch_overhead_us;
+  t.occupancy = compute_occupancy(dev, block_threads, costs.shared_peak_bytes);
+  if (grid_blocks == 0 || costs.warps == 0) {
+    t.time_us = t.overhead_us;
+    return t;
+  }
+
+  const int warps_per_block = (block_threads + dev.warp_size - 1) / dev.warp_size;
+
+  // Work one SM must retire: blocks cannot split across SMs.
+  const std::size_t blocks_per_sm_share =
+      (grid_blocks + dev.num_sms - 1) / static_cast<std::size_t>(dev.num_sms);
+  const double warps_per_sm_share =
+      static_cast<double>(blocks_per_sm_share * warps_per_block);
+
+  // --- Compute / issue bound -------------------------------------------
+  // Each SM retires fpXX_lanes op-equivalents per cycle; barriers cost a
+  // fixed pipeline drain each. Work is assumed evenly spread over SMs that
+  // received blocks.
+  const int sms_used = static_cast<int>(std::min<std::size_t>(
+      grid_blocks, static_cast<std::size_t>(dev.num_sms)));
+  const double compute_cycles_per_sm =
+      costs.ops_f32 / (dev.fp32_lanes_per_sm * sms_used) +
+      costs.ops_f64 / (dev.fp64_lanes_per_sm * sms_used) +
+      static_cast<double>(costs.barriers) * dev.barrier_cycles / sms_used +
+      // Bank-conflict replays serialize whole warp accesses: one extra
+      // cycle per serialization, spread over the SMs that got blocks.
+      static_cast<double>(costs.shared_serializations) / sms_used;
+  t.compute_us = compute_cycles_per_sm / (dev.clock_ghz * 1e3);
+
+  // --- Exposed-latency bound -------------------------------------------
+  // Each warp's critical path has (rounds_total / warps) dependent memory
+  // rounds of mem_latency_cycles each; R_eff resident warps overlap them.
+  const double rounds_per_warp =
+      static_cast<double>(costs.rounds_total) / static_cast<double>(costs.warps);
+  const double resident = std::max(
+      1.0, std::min({static_cast<double>(t.occupancy.resident_warps_per_sm),
+                     warps_per_sm_share, dev.max_mem_warps_per_sm}));
+  const double latency_cycles_per_sm =
+      warps_per_sm_share * rounds_per_warp * dev.mem_latency_cycles / resident;
+  t.latency_us = latency_cycles_per_sm / (dev.clock_ghz * 1e3);
+
+  // --- Bandwidth bound ---------------------------------------------------
+  const double bytes_moved =
+      static_cast<double>(costs.transactions) * static_cast<double>(dev.transaction_bytes);
+  t.bandwidth_us = bytes_moved / (dev.mem_bandwidth_gbps * 1e3);
+
+  t.time_us = t.overhead_us + std::max({t.compute_us, t.latency_us, t.bandwidth_us});
+  return t;
+}
+
+}  // namespace tridsolve::gpusim

@@ -1,0 +1,49 @@
+#pragma once
+// Analytic kernel timing from recorded costs — a simplified Hong & Kim
+// (ISCA'09) style MWP/CWP model. It captures the four mechanisms the
+// paper's performance curves hinge on:
+//
+//  1. latency-bound floor: with few resident warps (small M), per-round
+//     memory latency is exposed — the flat region of Fig. 12;
+//  2. latency hiding: more resident warps overlap rounds until either
+//     issue or bandwidth saturates — the knee around M ≈ 4096;
+//  3. bandwidth roofline: at large M the kernel streams and time grows
+//     linearly in total transactions (coalescing-weighted);
+//  4. occupancy: the resident-warp count comes from the launch's shared
+//     memory and thread footprint — how coarse tiling loses (§V).
+//
+// Plus fixed per-launch overhead, which is what repeated global-sync
+// relaunches (Davidson baseline) pay.
+
+#include <cstddef>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/occupancy.hpp"
+
+namespace tridsolve::gpusim {
+
+/// Timing breakdown of one simulated kernel launch.
+struct KernelTiming {
+  double time_us = 0.0;          ///< total (overhead + max of the bounds)
+  double compute_us = 0.0;       ///< issue/arithmetic bound (incl. barriers)
+  double latency_us = 0.0;       ///< exposed-latency bound
+  double bandwidth_us = 0.0;     ///< DRAM bound
+  double overhead_us = 0.0;      ///< launch overhead
+  Occupancy occupancy;
+
+  [[nodiscard]] const char* bound() const noexcept {
+    if (compute_us >= latency_us && compute_us >= bandwidth_us) return "compute";
+    if (latency_us >= bandwidth_us) return "latency";
+    return "bandwidth";
+  }
+};
+
+/// Predict the wall time of a launch of `grid_blocks` x `block_threads`
+/// whose execution recorded `costs`.
+[[nodiscard]] KernelTiming predict_kernel_time(const DeviceSpec& dev,
+                                               std::size_t grid_blocks,
+                                               int block_threads,
+                                               const KernelCosts& costs);
+
+}  // namespace tridsolve::gpusim

@@ -1,0 +1,100 @@
+#include "tridiag/cyclic_reduction.hpp"
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "tridiag/pcr.hpp"  // pcr_combine: CR uses the same elimination
+
+namespace tridsolve::tridiag {
+
+namespace {
+
+/// Rows kept at CR level L sit at original positions (r+1)*2^L - 1.
+constexpr std::size_t level_pos(std::size_t r, unsigned level) noexcept {
+  return ((r + 1) << level) - 1;
+}
+
+}  // namespace
+
+template <typename T>
+SolveStatus cr_solve(const SystemRef<T>& sys, StridedView<T> x) {
+  const std::size_t n = sys.size();
+  if (x.size() != n) return {SolveCode::bad_size, 0};
+  if (n == 0) return {};
+  if (n == 1) {
+    if (sys.b[0] == T(0)) return {SolveCode::zero_pivot, 0};
+    x[0] = sys.d[0] / sys.b[0];
+    return {};
+  }
+
+  const std::size_t npad = std::bit_ceil(n);
+  const unsigned num_levels = static_cast<unsigned>(std::bit_width(npad) - 1);
+
+  // levels[L] holds the reduced rows surviving to level L (identity rows
+  // for padded positions; they stay identity through every reduction).
+  std::vector<std::vector<Row<T>>> levels(num_levels + 1);
+  levels[0].resize(npad);
+  for (std::size_t i = 0; i < npad; ++i) {
+    levels[0][i] = i < n ? Row<T>{sys.a[i], sys.b[i], sys.c[i], sys.d[i]}
+                         : identity_row<T>();
+  }
+
+  // Forward reduction: level L+1 keeps the odd rows of level L, each
+  // eliminated against both even neighbours (same arithmetic as PCR).
+  for (unsigned level = 0; level < num_levels; ++level) {
+    const auto& prev = levels[level];
+    auto& next = levels[level + 1];
+    next.resize(prev.size() / 2);
+    for (std::size_t r = 0; r < next.size(); ++r) {
+      const std::size_t mid = 2 * r + 1;
+      const Row<T> lo = prev[mid - 1];
+      const Row<T> hi = mid + 1 < prev.size() ? prev[mid + 1] : identity_row<T>();
+      next[r] = pcr_combine(lo, prev[mid], hi);
+    }
+  }
+
+  // Top: a single row whose off-diagonal couplings point outside the
+  // matrix (virtual x = 0).
+  std::vector<T> sol(npad, T(0));
+  auto bad_pivot = [](T b) {
+    return !(b != T(0)) || !std::isfinite(static_cast<double>(b));
+  };
+  {
+    const Row<T>& top = levels[num_levels][0];
+    if (bad_pivot(top.b)) return {SolveCode::zero_pivot, level_pos(0, num_levels)};
+    sol[level_pos(0, num_levels)] = top.d / top.b;
+  }
+
+  // Backward substitution: at each level the rows not promoted upward
+  // (even local index) are solved from their already-known neighbours
+  // at distance 2^level (Eq. 7).
+  for (unsigned level = num_levels; level-- > 0;) {
+    const auto& rows = levels[level];
+    const std::size_t reach = std::size_t{1} << level;
+    for (std::size_t r = 0; r < rows.size(); r += 2) {
+      const std::size_t pos = level_pos(r, level);
+      const Row<T>& row = rows[r];
+      if (bad_pivot(row.b)) return {SolveCode::zero_pivot, pos};
+      const T left = pos >= reach ? sol[pos - reach] : T(0);
+      const T right = pos + reach < npad ? sol[pos + reach] : T(0);
+      sol[pos] = (row.d - row.a * left - row.c * right) / row.b;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) x[i] = sol[i];
+  return {};
+}
+
+std::size_t cr_elimination_steps(std::size_t n) noexcept {
+  if (n <= 1) return n;
+  const std::size_t npad = std::bit_ceil(n);
+  // npad/2 forward eliminations (one per surviving row per level, summed
+  // over levels) plus npad back-substitutions.
+  return (npad - 1) + npad;
+}
+
+template SolveStatus cr_solve<float>(const SystemRef<float>&, StridedView<float>);
+template SolveStatus cr_solve<double>(const SystemRef<double>&, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

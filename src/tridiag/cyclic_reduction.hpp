@@ -1,0 +1,29 @@
+#pragma once
+// Cyclic reduction (CR / odd-even reduction), paper §II.A.2 (Figs. 1-2).
+//
+// Forward phase: eliminate the odd-indexed unknowns level by level until a
+// single unknown remains; backward phase: substitute back down the tree.
+// O(n) work, 2*log2(n) + 1 parallel steps. Arbitrary n is handled by
+// virtually padding to the next power of two with identity rows (whose
+// solution is 0 and which never perturb real rows).
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Solve one system with cyclic reduction. Reads `sys` non-destructively,
+/// writes the solution to `x`. Returns zero_pivot if a reduced diagonal
+/// vanishes (CR, like Thomas/PCR, does not pivot).
+template <typename T>
+SolveStatus cr_solve(const SystemRef<T>& sys, StridedView<T> x);
+
+/// Number of elimination steps CR performs (paper: 2*log2(n)+1 parallel
+/// steps; total work counted in row-eliminations is ~2n).
+[[nodiscard]] std::size_t cr_elimination_steps(std::size_t n) noexcept;
+
+extern template SolveStatus cr_solve<float>(const SystemRef<float>&, StridedView<float>);
+extern template SolveStatus cr_solve<double>(const SystemRef<double>&, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,105 @@
+#pragma once
+// Batched system storage and the two memory layouts the paper discusses.
+//
+// * contiguous  — system m occupies elements [m*n, (m+1)*n). Natural for a
+//   CPU (each system is a cache-friendly streak) and for MKL-style calls.
+// * interleaved — element i of system m lives at i*M + m. Consecutive
+//   threads working on consecutive systems touch consecutive addresses,
+//   which is exactly the coalescing-friendly layout p-Thomas wants (§III.B:
+//   "PCR naturally produces interleaved results which is perfect match
+//   with p-Thomas").
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace tridsolve::tridiag {
+
+enum class Layout { contiguous, interleaved };
+
+[[nodiscard]] constexpr const char* layout_name(Layout l) noexcept {
+  return l == Layout::contiguous ? "contiguous" : "interleaved";
+}
+
+/// M independent n-row tridiagonal systems in one SoA allocation.
+template <typename T>
+class SystemBatch {
+ public:
+  SystemBatch() = default;
+
+  SystemBatch(std::size_t num_systems, std::size_t n, Layout layout)
+      : a_(num_systems * n),
+        b_(num_systems * n),
+        c_(num_systems * n),
+        d_(num_systems * n),
+        m_(num_systems),
+        n_(n),
+        layout_(layout) {}
+
+  [[nodiscard]] std::size_t num_systems() const noexcept { return m_; }
+  [[nodiscard]] std::size_t system_size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t total_rows() const noexcept { return m_ * n_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+
+  /// Flat coefficient arrays (layout-dependent element order).
+  [[nodiscard]] std::span<T> a() noexcept { return a_.span(); }
+  [[nodiscard]] std::span<T> b() noexcept { return b_.span(); }
+  [[nodiscard]] std::span<T> c() noexcept { return c_.span(); }
+  [[nodiscard]] std::span<T> d() noexcept { return d_.span(); }
+  [[nodiscard]] std::span<const T> a() const noexcept { return a_.span(); }
+  [[nodiscard]] std::span<const T> b() const noexcept { return b_.span(); }
+  [[nodiscard]] std::span<const T> c() const noexcept { return c_.span(); }
+  [[nodiscard]] std::span<const T> d() const noexcept { return d_.span(); }
+
+  /// Flat index of row i of system m under the current layout.
+  [[nodiscard]] std::size_t index(std::size_t m, std::size_t i) const noexcept {
+    return layout_ == Layout::contiguous ? m * n_ + i : i * m_ + m;
+  }
+
+  /// Strided views of one system.
+  [[nodiscard]] SystemRef<T> system(std::size_t m) noexcept {
+    const std::size_t base = layout_ == Layout::contiguous ? m * n_ : m;
+    const std::ptrdiff_t stride =
+        layout_ == Layout::contiguous ? 1 : static_cast<std::ptrdiff_t>(m_);
+    return {StridedView<T>(a_.data() + base, n_, stride),
+            StridedView<T>(b_.data() + base, n_, stride),
+            StridedView<T>(c_.data() + base, n_, stride),
+            StridedView<T>(d_.data() + base, n_, stride)};
+  }
+
+  [[nodiscard]] SystemBatch clone() const {
+    SystemBatch out(m_, n_, layout_);
+    for (std::size_t i = 0; i < m_ * n_; ++i) {
+      out.a_[i] = a_[i];
+      out.b_[i] = b_[i];
+      out.c_[i] = c_[i];
+      out.d_[i] = d_[i];
+    }
+    return out;
+  }
+
+ private:
+  util::AlignedBuffer<T> a_, b_, c_, d_;
+  std::size_t m_ = 0, n_ = 0;
+  Layout layout_ = Layout::contiguous;
+};
+
+/// Produce a copy of `in` with the other layout (or the requested one).
+template <typename T>
+[[nodiscard]] SystemBatch<T> convert_layout(const SystemBatch<T>& in, Layout to) {
+  SystemBatch<T> out(in.num_systems(), in.system_size(), to);
+  for (std::size_t m = 0; m < in.num_systems(); ++m) {
+    for (std::size_t i = 0; i < in.system_size(); ++i) {
+      const std::size_t src = in.index(m, i);
+      const std::size_t dst = out.index(m, i);
+      out.a()[dst] = in.a()[src];
+      out.b()[dst] = in.b()[src];
+      out.c()[dst] = in.c()[src];
+      out.d()[dst] = in.d()[src];
+    }
+  }
+  return out;
+}
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,153 @@
+#include "tridiag/partition.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tridiag/thomas.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+SolveStatus partition_solve(const SystemRef<T>& sys, StridedView<T> x,
+                            std::size_t p) {
+  const std::size_t n = sys.size();
+  if (x.size() != n || p < 2) return {SolveCode::bad_size, 0};
+  if (n == 0) return {};
+
+  const std::size_t packets = (n + p - 1) / p;
+
+  // Downward coefficients for every row; upward coefficients only at each
+  // packet's first row (computed per packet, stored per packet).
+  std::vector<T> cl(n), al(n), dl(n);
+  std::vector<T> au(packets), cu(packets), du(packets);
+
+  auto bad = [](T v) {
+    return !(v != T(0)) || !std::isfinite(static_cast<double>(v));
+  };
+
+  for (std::size_t t = 0; t < packets; ++t) {
+    const std::size_t s = t * p;
+    const std::size_t e = std::min(s + p, n);
+
+    // Downward: x_j = dl_j - cl_j x_{j+1} - al_j x_{s-1}.
+    for (std::size_t j = s; j < e; ++j) {
+      if (j == s) {
+        if (bad(sys.b[j])) return {SolveCode::zero_pivot, j};
+        const T inv = T(1) / sys.b[j];
+        cl[j] = sys.c[j] * inv;
+        al[j] = sys.a[j] * inv;
+        dl[j] = sys.d[j] * inv;
+      } else {
+        const T denom = sys.b[j] - sys.a[j] * cl[j - 1];
+        if (bad(denom)) return {SolveCode::zero_pivot, j};
+        const T inv = T(1) / denom;
+        cl[j] = sys.c[j] * inv;
+        al[j] = -sys.a[j] * al[j - 1] * inv;
+        dl[j] = (sys.d[j] - sys.a[j] * dl[j - 1]) * inv;
+      }
+    }
+
+    // Upward: x_s = du_t - au_t x_{s-1} - cu_t x_e.
+    T au_next{}, cu_next{}, du_next{};
+    for (std::size_t j = e; j-- > s;) {
+      if (j == e - 1) {
+        if (bad(sys.b[j])) return {SolveCode::zero_pivot, j};
+        const T inv = T(1) / sys.b[j];
+        au_next = sys.a[j] * inv;
+        cu_next = sys.c[j] * inv;
+        du_next = sys.d[j] * inv;
+      } else {
+        const T denom = sys.b[j] - sys.c[j] * au_next;
+        if (bad(denom)) return {SolveCode::zero_pivot, j};
+        const T inv = T(1) / denom;
+        du_next = (sys.d[j] - sys.c[j] * du_next) * inv;
+        cu_next = -sys.c[j] * cu_next * inv;
+        au_next = sys.a[j] * inv;
+      }
+    }
+    au[t] = au_next;
+    cu[t] = cu_next;
+    du[t] = du_next;
+  }
+
+  // Reduced system over the packet boundary unknowns U_t = (first_t,
+  // last_t): block tridiagonal with 2x2 blocks,
+  //
+  //   (up)   first_t + au_t last_{t-1} + cu_t first_{t+1} = du_t
+  //   (down) last_t  + al_t last_{t-1} + cl_t first_{t+1} = dl_t
+  //
+  // i.e. A_t U_{t-1} + U_t + C_t U_{t+1} = F_t with
+  // A_t = [[0, au],[0, al_last]], C_t = [[cu, 0],[cl_last, 0]].
+  // Solved with a 2x2 block Thomas sweep.
+  struct M2 {
+    T m00, m01, m10, m11;
+  };
+  struct V2 {
+    T v0, v1;
+  };
+  auto mul_mm = [](const M2& a, const M2& b) {
+    return M2{a.m00 * b.m00 + a.m01 * b.m10, a.m00 * b.m01 + a.m01 * b.m11,
+              a.m10 * b.m00 + a.m11 * b.m10, a.m10 * b.m01 + a.m11 * b.m11};
+  };
+  auto mul_mv = [](const M2& a, const V2& v) {
+    return V2{a.m00 * v.v0 + a.m01 * v.v1, a.m10 * v.v0 + a.m11 * v.v1};
+  };
+
+  std::vector<M2> cp(packets);
+  std::vector<V2> fp(packets);
+  {
+    M2 cp_prev{T(0), T(0), T(0), T(0)};
+    V2 fp_prev{T(0), T(0)};
+    for (std::size_t t = 0; t < packets; ++t) {
+      const std::size_t last = std::min(t * p + p, n) - 1;
+      const M2 at{T(0), au[t], T(0), al[last]};
+      const M2 c_here = t + 1 < packets ? M2{cu[t], T(0), cl[last], T(0)}
+                                        : M2{T(0), T(0), T(0), T(0)};
+      const V2 ft{du[t], dl[last]};
+
+      // denom = I - A_t * Cp_{t-1}
+      const M2 acp = mul_mm(at, cp_prev);
+      const M2 denom{T(1) - acp.m00, -acp.m01, -acp.m10, T(1) - acp.m11};
+      const T det = denom.m00 * denom.m11 - denom.m01 * denom.m10;
+      if (bad(det)) return {SolveCode::zero_pivot, last};
+      const T inv = T(1) / det;
+      const M2 denom_inv{denom.m11 * inv, -denom.m01 * inv, -denom.m10 * inv,
+                         denom.m00 * inv};
+
+      cp[t] = mul_mm(denom_inv, c_here);
+      const V2 afp = mul_mv(at, fp_prev);
+      fp[t] = mul_mv(denom_inv, V2{ft.v0 - afp.v0, ft.v1 - afp.v1});
+      cp_prev = cp[t];
+      fp_prev = fp[t];
+    }
+  }
+  std::vector<V2> u(packets);
+  {
+    V2 u_next{T(0), T(0)};
+    for (std::size_t t = packets; t-- > 0;) {
+      const V2 cu_next = mul_mv(cp[t], u_next);
+      u[t] = V2{fp[t].v0 - cu_next.v0, fp[t].v1 - cu_next.v1};
+      u_next = u[t];
+    }
+  }
+
+  // Local back-substitution within every packet.
+  for (std::size_t t = 0; t < packets; ++t) {
+    const std::size_t s = t * p;
+    const std::size_t e = std::min(s + p, n);
+    const T x_left = t > 0 ? u[t - 1].v1 : T(0);
+    x[s] = u[t].v0;
+    x[e - 1] = u[t].v1;
+    for (std::size_t j = e - 1; j-- > s + 1;) {
+      x[j] = dl[j] - cl[j] * x[j + 1] - al[j] * x_left;
+    }
+  }
+  return {};
+}
+
+template SolveStatus partition_solve<float>(const SystemRef<float>&,
+                                            StridedView<float>, std::size_t);
+template SolveStatus partition_solve<double>(const SystemRef<double>&,
+                                             StridedView<double>, std::size_t);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,47 @@
+#pragma once
+// Block-partition (Wang / SPIKE-style) tridiagonal solver.
+//
+// The structural idea behind Davidson & Owens' register-packed CR [18]
+// and cuSPARSE's gtsv: split the system into packets of p rows; inside
+// each packet a *downward* elimination expresses every unknown in terms
+// of its successor and the packet's left ghost,
+//
+//   x_j = dL_j - cL_j x_{j+1} - aL_j x_{s-1},
+//
+// and an *upward* elimination expresses the packet's first unknown as
+//
+//   x_s = dU - aU x_{s-1} - cU x_e.
+//
+// Writing X_t for each packet's last unknown and substituting packet
+// t+1's upward relation for x_e yields a tridiagonal *reduced system* of
+// one row per packet:
+//
+//   aL_t X_{t-1} + (1 - cL_t aU_{t+1}) X_t - cL_t cU_{t+1} X_{t+1}
+//       = dL_t - cL_t dU_{t+1},
+//
+// solved directly; interior unknowns then back-substitute locally. On a
+// GPU each packet lives in one thread's registers (hence "register
+// packing"): n/p-way parallel sweeps, a tiny reduced solve, and n/p-way
+// parallel back-substitution. Here it is implemented as a host algorithm
+// and cross-validated against the rest of the library; it is stable for
+// the diagonally dominant systems this library targets.
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Solve one system with the partition method using packets of `p` rows.
+/// Non-destructive on `sys`; writes x. p >= 2.
+template <typename T>
+SolveStatus partition_solve(const SystemRef<T>& sys, StridedView<T> x,
+                            std::size_t p);
+
+extern template SolveStatus partition_solve<float>(const SystemRef<float>&,
+                                                   StridedView<float>, std::size_t);
+extern template SolveStatus partition_solve<double>(const SystemRef<double>&,
+                                                    StridedView<double>,
+                                                    std::size_t);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,85 @@
+#pragma once
+// Parallel cyclic reduction (PCR), paper §II.A.3 (Figs. 3-4, Eqs. 5-6).
+//
+// One PCR step eliminates, for every row i simultaneously, the coupling to
+// rows i±s using rows i-s and i+s, doubling the coupling stride. After k
+// steps a size-n system decomposes into 2^k independent interleaved systems
+// (rows i ≡ r mod 2^k). Out-of-range neighbours are identity rows (0,1,0|0),
+// which makes the transform valid for any n, not just powers of two.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tridiag/types.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace tridsolve::tridiag {
+
+/// f(k) = 2^k - 1 (paper Eq. 8): halo width of a k-step PCR dependency,
+/// i.e. the number of extra rows a naive tile must load per boundary.
+[[nodiscard]] constexpr std::size_t pcr_halo(unsigned k) noexcept {
+  return (std::size_t{1} << k) - 1;
+}
+
+/// g(k) = k*2^k - 2^{k+1} + 2 (paper Eq. 9): redundant elimination steps a
+/// naive k-step tile performs per boundary.
+[[nodiscard]] constexpr std::size_t pcr_redundant_elims(unsigned k) noexcept {
+  if (k == 0) return 0;
+  const std::size_t two_k = std::size_t{1} << k;
+  return k * two_k - 2 * two_k + 2;
+}
+
+/// Read row i of `sys`, substituting the identity row outside [0, n).
+template <typename T>
+[[nodiscard]] inline Row<T> row_or_identity(const SystemRef<T>& sys,
+                                            std::ptrdiff_t i) noexcept {
+  if (i < 0 || i >= static_cast<std::ptrdiff_t>(sys.size())) {
+    return identity_row<T>();
+  }
+  const auto u = static_cast<std::size_t>(i);
+  return Row<T>{sys.a[u], sys.b[u], sys.c[u], sys.d[u]};
+}
+
+/// The PCR elimination for one row (Eqs. 5-6): combine `mid` with its
+/// neighbours `lo` (at -stride) and `hi` (at +stride).
+template <typename T>
+[[nodiscard]] constexpr Row<T> pcr_combine(const Row<T>& lo, const Row<T>& mid,
+                                           const Row<T>& hi) noexcept {
+  const T k1 = mid.a / lo.b;
+  const T k2 = mid.c / hi.b;
+  return Row<T>{
+      -lo.a * k1,
+      mid.b - lo.c * k1 - hi.a * k2,
+      -hi.c * k2,
+      mid.d - lo.d * k1 - hi.d * k2,
+  };
+}
+
+/// One full PCR step at the given stride: dst[i] = combine(src[i-s], src[i],
+/// src[i+s]) for all i. src and dst must not alias. Returns the number of
+/// elimination steps performed (= n).
+template <typename T>
+std::size_t pcr_step(const SystemRef<T>& src, const SystemRef<T>& dst,
+                     std::size_t stride);
+
+/// Perform k PCR steps in place (ping-pong against an internal workspace).
+/// Afterwards the rows of `sys` describe 2^k interleaved independent
+/// systems coupled at stride 2^k. Returns total elimination steps (k*n).
+template <typename T>
+std::size_t pcr_reduce(SystemRef<T> sys, unsigned k);
+
+/// Solve completely with PCR: reduce until the stride reaches n, then each
+/// row is a 1x1 system x_i = d_i / b_i. Destroys `sys`; writes x.
+template <typename T>
+SolveStatus pcr_solve(SystemRef<T> sys, StridedView<T> x);
+
+extern template std::size_t pcr_step<float>(const SystemRef<float>&,
+                                            const SystemRef<float>&, std::size_t);
+extern template std::size_t pcr_step<double>(const SystemRef<double>&,
+                                             const SystemRef<double>&, std::size_t);
+extern template std::size_t pcr_reduce<float>(SystemRef<float>, unsigned);
+extern template std::size_t pcr_reduce<double>(SystemRef<double>, unsigned);
+extern template SolveStatus pcr_solve<float>(SystemRef<float>, StridedView<float>);
+extern template SolveStatus pcr_solve<double>(SystemRef<double>, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,101 @@
+#include "tridiag/pcr_plan.hpp"
+
+#include "tridiag/pcr.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+PcrPlan<T>::PcrPlan(const SystemRef<const T>& sys, unsigned k)
+    : k_(k), n_(sys.size()) {
+  if (n_ == 0) return;
+
+  // Ping-pong matrix reduction (a, b, c only), capturing k1/k2 per level.
+  std::vector<T> a(n_), b(n_), c(n_), a2(n_), b2(n_), c2(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    a[i] = sys.a[i];
+    b[i] = sys.b[i];
+    c[i] = sys.c[i];
+  }
+  k1_.resize(static_cast<std::size_t>(k_) * n_);
+  k2_.resize(static_cast<std::size_t>(k_) * n_);
+
+  std::size_t stride = 1;
+  for (unsigned level = 0; level < k_; ++level) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Out-of-range neighbours are identity rows (a=0, b=1, c=0).
+      const bool has_lo = i >= stride;
+      const bool has_hi = i + stride < n_;
+      const T b_lo = has_lo ? b[i - stride] : T(1);
+      const T b_hi = has_hi ? b[i + stride] : T(1);
+      const T m1 = a[i] / b_lo;
+      const T m2 = c[i] / b_hi;
+      k1_[level * n_ + i] = m1;
+      k2_[level * n_ + i] = m2;
+      const T a_lo = has_lo ? a[i - stride] : T(0);
+      const T c_lo = has_lo ? c[i - stride] : T(0);
+      const T a_hi = has_hi ? a[i + stride] : T(0);
+      const T c_hi = has_hi ? c[i + stride] : T(0);
+      a2[i] = -a_lo * m1;
+      b2[i] = b[i] - c_lo * m1 - a_hi * m2;
+      c2[i] = -c_hi * m2;
+    }
+    a.swap(a2);
+    b.swap(b2);
+    c.swap(c2);
+    stride *= 2;
+  }
+
+  // One division-free Thomas factorization per reduced class, over the
+  // stride-2^k interleaved views of the reduced matrix.
+  const std::size_t num_classes = std::min<std::size_t>(n_, std::size_t{1} << k_);
+  classes_.resize(num_classes);
+  for (std::size_t r = 0; r < num_classes; ++r) {
+    const std::size_t count = (n_ - r + stride - 1) / stride;
+    SystemRef<const T> view{
+        StridedView<const T>(a.data() + r, count, static_cast<std::ptrdiff_t>(stride)),
+        StridedView<const T>(b.data() + r, count, static_cast<std::ptrdiff_t>(stride)),
+        StridedView<const T>(c.data() + r, count, static_cast<std::ptrdiff_t>(stride)),
+        StridedView<const T>(nullptr, count, static_cast<std::ptrdiff_t>(stride))};
+    classes_[r].factor(view);
+    if (!classes_[r].ok() && status_.ok()) {
+      status_ = classes_[r].status();
+    }
+  }
+}
+
+template <typename T>
+SolveStatus PcrPlan<T>::solve(StridedView<const T> d, StridedView<T> x) const {
+  if (!ok()) return status_;
+  if (d.size() != n_ || x.size() != n_) return {SolveCode::bad_size, 0};
+  if (n_ == 0) return {};
+
+  // Replay the cached reduction on the rhs.
+  std::vector<T> cur(n_), next(n_);
+  for (std::size_t i = 0; i < n_; ++i) cur[i] = d[i];
+  std::size_t stride = 1;
+  for (unsigned level = 0; level < k_; ++level) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const T d_lo = i >= stride ? cur[i - stride] : T(0);
+      const T d_hi = i + stride < n_ ? cur[i + stride] : T(0);
+      next[i] = cur[i] - k1_[level * n_ + i] * d_lo - k2_[level * n_ + i] * d_hi;
+    }
+    cur.swap(next);
+    stride *= 2;
+  }
+
+  // Division-free Thomas per reduced class, straight into x.
+  for (std::size_t r = 0; r < classes_.size(); ++r) {
+    const std::size_t count = (n_ - r + stride - 1) / stride;
+    const auto st = classes_[r].solve(
+        StridedView<const T>(cur.data() + r, count, static_cast<std::ptrdiff_t>(stride)),
+        StridedView<T>(x.ptr(r), count,
+                       x.stride() * static_cast<std::ptrdiff_t>(stride)));
+    if (!st.ok()) return st;
+  }
+  return {};
+}
+
+template class PcrPlan<float>;
+template class PcrPlan<double>;
+
+}  // namespace tridsolve::tridiag

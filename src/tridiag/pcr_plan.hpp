@@ -1,0 +1,51 @@
+#pragma once
+// Factor-once / solve-many plan for the full hybrid pipeline (host).
+//
+// The k-step PCR reduction applies, at every level j and row q, two
+// matrix-only multipliers k1 = a_q/b_{q-2^{j-1}} and k2 = c_q/b_{q+2^{j-1}}
+// to the right-hand side: d' = d - k1*d_lo - k2*d_hi. Caching the k1/k2
+// streams and a division-free ThomasPlan per reduced class turns every
+// subsequent solve with the same matrix into pure fused multiply-adds —
+// the batched analogue of ?gttrf/?gtts2, and the natural optimization for
+// ADI-style time stepping where the matrix is fixed across steps.
+//
+// solve() reproduces pcr_reduce(...)+thomas_solve(...) bit for bit (same
+// arithmetic in the same order), which the tests assert.
+
+#include <cstddef>
+#include <vector>
+
+#include "tridiag/thomas_plan.hpp"
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+class PcrPlan {
+ public:
+  PcrPlan() = default;
+
+  /// Factor: run the k-step reduction on the matrix once, caching the
+  /// multipliers and the reduced-class Thomas factorizations.
+  PcrPlan(const SystemRef<const T>& sys, unsigned k);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] unsigned steps() const noexcept { return k_; }
+  [[nodiscard]] const SolveStatus& status() const noexcept { return status_; }
+  [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+
+  /// Solve for a new rhs; x may alias d. Division-free.
+  SolveStatus solve(StridedView<const T> d, StridedView<T> x) const;
+
+ private:
+  unsigned k_ = 0;
+  std::size_t n_ = 0;
+  std::vector<T> k1_, k2_;              ///< k levels x n multipliers
+  std::vector<ThomasPlan<T>> classes_;  ///< one plan per reduced class
+  SolveStatus status_;
+};
+
+extern template class PcrPlan<float>;
+extern template class PcrPlan<double>;
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,76 @@
+#include "tridiag/periodic.hpp"
+
+#include <vector>
+
+#include "tridiag/thomas.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+T periodic_correct_matrix(SystemRef<T> sys, T alpha, T beta) {
+  const std::size_t n = sys.size();
+  const T gamma = -sys.b[0];
+  sys.b[0] = sys.b[0] - gamma;
+  sys.b[n - 1] = sys.b[n - 1] - alpha * beta / gamma;
+  return gamma;
+}
+
+template <typename T>
+void periodic_fill_u(std::span<T> u, T gamma, T beta) {
+  for (auto& v : u) v = T(0);
+  u.front() = gamma;
+  u.back() = beta;
+}
+
+template <typename T>
+SolveStatus periodic_combine(StridedView<T> y, StridedView<const T> z, T alpha,
+                             T gamma) {
+  const std::size_t n = y.size();
+  if (z.size() != n) return {SolveCode::bad_size, 0};
+  const T vy = y[0] + alpha / gamma * y[n - 1];
+  const T vz = z[0] + alpha / gamma * z[n - 1];
+  const T denom = T(1) + vz;
+  if (denom == T(0)) return {SolveCode::zero_pivot, 0};
+  const T factor = vy / denom;
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = y[i] - factor * z[i];
+  }
+  return {};
+}
+
+template <typename T>
+SolveStatus periodic_solve(SystemRef<T> sys, T alpha, T beta, StridedView<T> x) {
+  const std::size_t n = sys.size();
+  if (x.size() != n) return {SolveCode::bad_size, 0};
+  if (n < 3) return {SolveCode::bad_size, 0};  // corners would overlap the band
+
+  const T gamma = periodic_correct_matrix(sys, alpha, beta);
+
+  std::vector<T> u(n), z(n), scratch(n);
+  periodic_fill_u(std::span<T>(u), gamma, beta);
+
+  // Two solves against the same corrected matrix A'.
+  if (auto st = thomas_solve(sys, x, std::span<T>(scratch)); !st.ok()) return st;
+  SystemRef<T> with_u{sys.a, sys.b, sys.c, StridedView<T>(std::span<T>(u))};
+  StridedView<T> zv{z.data(), n, 1};
+  if (auto st = thomas_solve(with_u, zv, std::span<T>(scratch)); !st.ok()) {
+    return st;
+  }
+  return periodic_combine(x, StridedView<const T>(z.data(), n, 1), alpha, gamma);
+}
+
+template double periodic_correct_matrix<double>(SystemRef<double>, double, double);
+template float periodic_correct_matrix<float>(SystemRef<float>, float, float);
+template void periodic_fill_u<double>(std::span<double>, double, double);
+template void periodic_fill_u<float>(std::span<float>, float, float);
+template SolveStatus periodic_combine<double>(StridedView<double>,
+                                              StridedView<const double>, double,
+                                              double);
+template SolveStatus periodic_combine<float>(StridedView<float>,
+                                             StridedView<const float>, float, float);
+template SolveStatus periodic_solve<double>(SystemRef<double>, double, double,
+                                            StridedView<double>);
+template SolveStatus periodic_solve<float>(SystemRef<float>, float, float,
+                                           StridedView<float>);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,72 @@
+#pragma once
+// Periodic (cyclic) tridiagonal systems via Sherman-Morrison.
+//
+// An extension beyond the paper's scope (its future-work direction is
+// generalizing the approach): ADI sweeps with periodic boundary
+// conditions and circular spline problems produce tridiagonal matrices
+// with two corner entries,
+//
+//   | b0  c0            alpha |
+//   | a1  b1  c1              |
+//   |     ...                 |
+//   |            a    b    c  |
+//   | beta         a_n  b_n   |   (alpha = A[0][n-1], beta = A[n-1][0])
+//
+// Writing A_p = A' + u v^T with u = (gamma, 0..0, beta)^T and
+// v = (1, 0..0, alpha/gamma)^T reduces the periodic solve to two plain
+// tridiagonal solves with the same matrix A' (diagonal corrected at both
+// ends), combined by the Sherman-Morrison formula:
+//
+//   x = y - z * (v.y) / (1 + v.z),  A' y = d,  A' z = u.
+//
+// The two solves share coefficients, which is exactly the batched
+// workload shape the hybrid GPU solver exploits (see
+// gpu_solvers/periodic_gpu.hpp).
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Build the corrected system A' in place from a periodic system:
+/// subtracts gamma from b[0] and alpha*beta/gamma from b[n-1] and returns
+/// gamma (chosen as -b[0] for stability). n must be >= 3.
+template <typename T>
+T periodic_correct_matrix(SystemRef<T> sys, T alpha, T beta);
+
+/// Fill `u` (an n-element contiguous span) with the Sherman-Morrison
+/// rank-one column for the given gamma/beta.
+template <typename T>
+void periodic_fill_u(std::span<T> u, T gamma, T beta);
+
+/// Combine the two plain solves into the periodic solution, in place in
+/// `y`: x = y - z * (y[0] + alpha/gamma * y[n-1]) / (1 + v.z).
+/// Returns zero_pivot if the Sherman-Morrison denominator vanishes.
+template <typename T>
+SolveStatus periodic_combine(StridedView<T> y, StridedView<const T> z, T alpha,
+                             T gamma);
+
+/// Convenience host path: solve one periodic system with Thomas.
+/// Destroys `sys` (corner entries are given separately, not stored in
+/// a[0]/c[n-1]). Writes the solution to x.
+template <typename T>
+SolveStatus periodic_solve(SystemRef<T> sys, T alpha, T beta, StridedView<T> x);
+
+extern template double periodic_correct_matrix<double>(SystemRef<double>, double,
+                                                       double);
+extern template float periodic_correct_matrix<float>(SystemRef<float>, float, float);
+extern template void periodic_fill_u<double>(std::span<double>, double, double);
+extern template void periodic_fill_u<float>(std::span<float>, float, float);
+extern template SolveStatus periodic_combine<double>(StridedView<double>,
+                                                     StridedView<const double>,
+                                                     double, double);
+extern template SolveStatus periodic_combine<float>(StridedView<float>,
+                                                    StridedView<const float>, float,
+                                                    float);
+extern template SolveStatus periodic_solve<double>(SystemRef<double>, double, double,
+                                                   StridedView<double>);
+extern template SolveStatus periodic_solve<float>(SystemRef<float>, float, float,
+                                                  StridedView<float>);
+
+}  // namespace tridsolve::tridiag

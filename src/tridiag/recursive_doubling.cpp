@@ -1,0 +1,125 @@
+#include "tridiag/recursive_doubling.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace tridsolve::tridiag {
+
+namespace {
+
+/// 2x2 matrix representing a Möbius transform t -> (m00 t + m01)/(m10 t + m11).
+template <typename T>
+struct Mobius {
+  T m00, m01, m10, m11;
+
+  /// Compose: (newer * older), i.e. apply `older` first.
+  [[nodiscard]] Mobius operator*(const Mobius& o) const noexcept {
+    Mobius r{m00 * o.m00 + m01 * o.m10, m00 * o.m01 + m01 * o.m11,
+             m10 * o.m00 + m11 * o.m10, m10 * o.m01 + m11 * o.m11};
+    r.normalize();
+    return r;
+  }
+
+  void normalize() noexcept {
+    using std::abs;
+    const T scale = std::max(std::max(abs(m00), abs(m01)),
+                             std::max(abs(m10), abs(m11)));
+    if (scale > T(0)) {
+      m00 /= scale;
+      m01 /= scale;
+      m10 /= scale;
+      m11 /= scale;
+    }
+  }
+
+  /// Apply at t = 0.
+  [[nodiscard]] T at_zero(bool* ok) const noexcept {
+    if (m11 == T(0)) {
+      *ok = false;
+      return T(0);
+    }
+    return m01 / m11;
+  }
+};
+
+/// Affine map t -> u + v t; composition is (newer ∘ older).
+template <typename T>
+struct Affine {
+  T u, v;
+  [[nodiscard]] Affine compose_after(const Affine& older) const noexcept {
+    return {u + v * older.u, v * older.v};
+  }
+};
+
+/// In-place Kogge-Stone inclusive scan with a binary combine
+/// `out = f(newer, older)`.
+template <typename E, typename F>
+void kogge_stone_scan(std::vector<E>& elems, F combine) {
+  const std::size_t n = elems.size();
+  std::vector<E> next(n);
+  for (std::size_t dist = 1; dist < n; dist *= 2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = i >= dist ? combine(elems[i], elems[i - dist]) : elems[i];
+    }
+    elems.swap(next);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+SolveStatus rd_solve(const SystemRef<T>& sys, StridedView<T> x) {
+  const std::size_t n = sys.size();
+  if (x.size() != n) return {SolveCode::bad_size, 0};
+  if (n == 0) return {};
+
+  // Pass 1: Möbius scan for the c' recurrence.
+  std::vector<Mobius<T>> mob(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mob[i] = Mobius<T>{T(0), sys.c[i], -sys.a[i], sys.b[i]};
+    mob[i].normalize();
+  }
+  kogge_stone_scan(mob, [](const Mobius<T>& newer, const Mobius<T>& older) {
+    return newer * older;
+  });
+
+  std::vector<T> cprime(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool ok = true;
+    cprime[i] = mob[i].at_zero(&ok);
+    if (!ok) return {SolveCode::zero_pivot, i};
+  }
+
+  // Pass 2: affine scan for d' (denominators from c').
+  std::vector<Affine<T>> aff(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const T denom = i == 0 ? sys.b[0] : sys.b[i] - sys.a[i] * cprime[i - 1];
+    if (denom == T(0)) return {SolveCode::zero_pivot, i};
+    aff[i] = Affine<T>{sys.d[i] / denom, i == 0 ? T(0) : -sys.a[i] / denom};
+  }
+  kogge_stone_scan(aff, [](const Affine<T>& newer, const Affine<T>& older) {
+    return newer.compose_after(older);
+  });
+
+  std::vector<T> dprime(n);
+  for (std::size_t i = 0; i < n; ++i) dprime[i] = aff[i].u;  // G_i(0)
+
+  // Pass 3: backward affine scan for x_i = d'_i - c'_i x_{i+1}.
+  // Reverse index so the scan runs forward: y_j = x_{n-1-j}.
+  std::vector<Affine<T>> back(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t i = n - 1 - j;
+    back[j] = Affine<T>{dprime[i], j == 0 ? T(0) : -cprime[i]};
+  }
+  kogge_stone_scan(back, [](const Affine<T>& newer, const Affine<T>& older) {
+    return newer.compose_after(older);
+  });
+  for (std::size_t j = 0; j < n; ++j) x[n - 1 - j] = back[j].u;
+
+  return {};
+}
+
+template SolveStatus rd_solve<float>(const SystemRef<float>&, StridedView<float>);
+template SolveStatus rd_solve<double>(const SystemRef<double>&, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

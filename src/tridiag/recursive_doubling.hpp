@@ -1,0 +1,26 @@
+#pragma once
+// Recursive doubling (RD), Stone 1973 — the third classic parallel
+// tridiagonal algorithm the paper surveys (§I, §II).
+//
+// The Thomas forward recurrences are reassociated into parallel prefix
+// scans and evaluated with Kogge-Stone doubling passes:
+//   c'_i = c_i / (b_i - a_i c'_{i-1})   -> Möbius transform, 2x2 matrix scan
+//   d'_i = (d_i - a_i d'_{i-1}) / D_i   -> affine scan (given the D_i)
+//   x_i  = d'_i - c'_i x_{i+1}          -> affine scan, backward
+// O(n log n) work, O(log n) parallel steps. Products are renormalized per
+// combine, so the scan is safe for long diagonally-dominant systems.
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Solve one system with recursive doubling. Non-destructive on `sys`.
+template <typename T>
+SolveStatus rd_solve(const SystemRef<T>& sys, StridedView<T> x);
+
+extern template SolveStatus rd_solve<float>(const SystemRef<float>&, StridedView<float>);
+extern template SolveStatus rd_solve<double>(const SystemRef<double>&, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

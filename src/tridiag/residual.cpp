@@ -1,0 +1,50 @@
+#include "tridiag/residual.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x) {
+  const std::size_t n = sys.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = static_cast<double>(sys.b[i]) * x[i] - static_cast<double>(sys.d[i]);
+    if (i > 0) r += static_cast<double>(sys.a[i]) * x[i - 1];
+    if (i + 1 < n) r += static_cast<double>(sys.c[i]) * x[i + 1];
+    worst = std::max(worst, std::abs(r));
+  }
+  return worst;
+}
+
+template <typename T>
+double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x) {
+  const std::size_t n = sys.size();
+  if (n == 0) return 0.0;
+
+  double norm_a = 0.0;  // ||A||_inf = max row sum
+  double norm_x = 0.0;
+  double norm_d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double row = std::abs(static_cast<double>(sys.a[i])) +
+                       std::abs(static_cast<double>(sys.b[i])) +
+                       std::abs(static_cast<double>(sys.c[i]));
+    norm_a = std::max(norm_a, row);
+    norm_x = std::max(norm_x, std::abs(static_cast<double>(x[i])));
+    norm_d = std::max(norm_d, std::abs(static_cast<double>(sys.d[i])));
+  }
+  const double denom = norm_a * norm_x + norm_d;
+  return denom == 0.0 ? residual_inf(sys, x) : residual_inf(sys, x) / denom;
+}
+
+template double residual_inf<float>(const SystemRef<const float>&,
+                                    StridedView<const float>);
+template double residual_inf<double>(const SystemRef<const double>&,
+                                     StridedView<const double>);
+template double relative_residual<float>(const SystemRef<const float>&,
+                                         StridedView<const float>);
+template double relative_residual<double>(const SystemRef<const double>&,
+                                          StridedView<const double>);
+
+}  // namespace tridsolve::tridiag

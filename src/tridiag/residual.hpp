@@ -1,0 +1,43 @@
+#pragma once
+// Residual and error metrics for solver validation.
+
+#include <cstddef>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// ||A x - d||_inf computed against the *original* (unreduced) system.
+template <typename T>
+double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x);
+
+/// Scaled relative residual ||Ax - d||_inf / (||A||_inf ||x||_inf + ||d||_inf).
+/// Values within a small multiple of machine epsilon indicate a
+/// backward-stable solve.
+template <typename T>
+double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x);
+
+/// Convenience: build const views from a mutable SystemRef.
+template <typename T>
+[[nodiscard]] inline SystemRef<const T> as_const(const SystemRef<T>& s) noexcept {
+  return {StridedView<const T>(s.a.data(), s.a.size(), s.a.stride()),
+          StridedView<const T>(s.b.data(), s.b.size(), s.b.stride()),
+          StridedView<const T>(s.c.data(), s.c.size(), s.c.stride()),
+          StridedView<const T>(s.d.data(), s.d.size(), s.d.stride())};
+}
+
+template <typename T>
+[[nodiscard]] inline StridedView<const T> as_const(const StridedView<T>& v) noexcept {
+  return {v.data(), v.size(), v.stride()};
+}
+
+extern template double residual_inf<float>(const SystemRef<const float>&,
+                                           StridedView<const float>);
+extern template double residual_inf<double>(const SystemRef<const double>&,
+                                            StridedView<const double>);
+extern template double relative_residual<float>(const SystemRef<const float>&,
+                                                StridedView<const float>);
+extern template double relative_residual<double>(const SystemRef<const double>&,
+                                                 StridedView<const double>);
+
+}  // namespace tridsolve::tridiag

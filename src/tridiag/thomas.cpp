@@ -1,0 +1,16 @@
+#include "tridiag/thomas.hpp"
+
+#include "util/aligned_buffer.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+SolveStatus thomas_solve(SystemRef<T> sys, StridedView<T> x) {
+  util::AlignedBuffer<T> scratch(sys.size());
+  return thomas_solve(sys, x, scratch.span());
+}
+
+template SolveStatus thomas_solve<float>(SystemRef<float>, StridedView<float>);
+template SolveStatus thomas_solve<double>(SystemRef<double>, StridedView<double>);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,100 @@
+#pragma once
+// Factor-once / solve-many Thomas plan.
+//
+// Time-stepping applications (ADI sweeps, implicit diffusion) solve the
+// *same* tridiagonal matrix against a new right-hand side every step. The
+// Thomas forward-reduction coefficients c'_i and the pivot reciprocals
+// depend only on the matrix, so they can be computed once; each subsequent
+// solve is then two division-free sweeps:
+//
+//   d'_i = (d_i - a_i d'_{i-1}) * inv_i,     x_i = d'_i - c'_i x_{i+1}.
+//
+// This mirrors LAPACK's ?gttrf/?gtts2 split (without pivoting — the plan
+// rejects matrices whose pivot-free elimination breaks down).
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+template <typename T>
+class ThomasPlan {
+ public:
+  ThomasPlan() = default;
+
+  /// Factor the matrix (a, b, c of `sys`; d is ignored). On failure the
+  /// plan is unusable and status() reports the offending row.
+  explicit ThomasPlan(const SystemRef<const T>& sys) { factor(sys); }
+
+  void factor(const SystemRef<const T>& sys) {
+    const std::size_t n = sys.size();
+    a_.resize(n);
+    cprime_.resize(n);
+    inv_.resize(n);
+    status_ = {};
+    T cp = T(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T denom = sys.b[i] - cp * sys.a[i];
+      // !(denom != 0) also catches NaN pivots (e.g. from an upstream
+      // singular reduction).
+      if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
+        status_ = {SolveCode::zero_pivot, i};
+        return;
+      }
+      const T inv = T(1) / denom;
+      cp = sys.c[i] * inv;
+      a_[i] = sys.a[i];
+      cprime_[i] = cp;
+      inv_[i] = inv;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return inv_.size(); }
+  [[nodiscard]] const SolveStatus& status() const noexcept { return status_; }
+  [[nodiscard]] bool ok() const noexcept { return status_.ok(); }
+
+  /// Solve for one rhs; x may alias d. Division-free.
+  SolveStatus solve(StridedView<const T> d, StridedView<T> x) const {
+    const std::size_t n = size();
+    if (!ok()) return status_;
+    if (d.size() != n || x.size() != n) return {SolveCode::bad_size, 0};
+    if (n == 0) return {};
+
+    T dp = T(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      dp = (d[i] - dp * a_[i]) * inv_[i];
+      x[i] = dp;
+    }
+    for (std::size_t i = n - 1; i-- > 0;) {
+      x[i] = x[i] - cprime_[i] * x[i + 1];
+    }
+    return {};
+  }
+
+  /// Solve for many right-hand sides stored as columns of a contiguous
+  /// (num_rhs x n) row-major block: rhs r occupies [r*n, (r+1)*n).
+  SolveStatus solve_many(std::span<const T> d, std::span<T> x,
+                         std::size_t num_rhs) const {
+    const std::size_t n = size();
+    if (d.size() < num_rhs * n || x.size() < num_rhs * n) {
+      return {SolveCode::bad_size, 0};
+    }
+    for (std::size_t r = 0; r < num_rhs; ++r) {
+      const auto st = solve(StridedView<const T>(d.data() + r * n, n, 1),
+                            StridedView<T>(x.data() + r * n, n, 1));
+      if (!st.ok()) return st;
+    }
+    return {};
+  }
+
+ private:
+  std::vector<T> a_;       ///< sub-diagonal (for the d' recurrence)
+  std::vector<T> cprime_;  ///< forward-reduced super-diagonal
+  std::vector<T> inv_;     ///< pivot reciprocals
+  SolveStatus status_;
+};
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,171 @@
+#include "tridiag/tiled_pcr.hpp"
+
+#include <cassert>
+
+namespace tridsolve::tridiag {
+
+namespace {
+
+/// Per-level ring of trailing intermediate rows, indexed by absolute
+/// position. Size 2^{j+1} + 1 for level j: the span a level-(j+1)
+/// elimination reads (2*2^j + 1 positions) is live at once.
+template <typename T>
+class LevelRing {
+ public:
+  explicit LevelRing(std::size_t size) : rows_(size) {}
+
+  void put(std::size_t pos, const Row<T>& r) noexcept {
+    rows_[pos % rows_.size()] = r;
+  }
+  [[nodiscard]] const Row<T>& get(std::size_t pos) const noexcept {
+    return rows_[pos % rows_.size()];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<Row<T>> rows_;
+};
+
+}  // namespace
+
+template <typename T>
+TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k) {
+  TiledPcrCounters counters;
+  const std::size_t n = sys.size();
+  if (k == 0 || n == 0) return counters;
+
+  // Rings for levels 0 .. k-1 (level-k rows stream straight to the output).
+  std::vector<LevelRing<T>> rings;
+  rings.reserve(k);
+  for (unsigned j = 0; j < k; ++j) {
+    rings.emplace_back((std::size_t{2} << j) + 1);
+    counters.cache_rows_peak += rings.back().size();
+  }
+
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  auto level_row = [&](unsigned level, std::ptrdiff_t pos) -> Row<T> {
+    // Identity rows propagate unchanged through PCR, so any out-of-range
+    // position is the identity at *every* level (see DESIGN.md).
+    if (pos < 0 || pos >= sn) return identity_row<T>();
+    return rings[level].get(static_cast<std::size_t>(pos));
+  };
+
+  const std::ptrdiff_t halo = static_cast<std::ptrdiff_t>(pcr_halo(k));
+  for (std::ptrdiff_t p = 0; p < sn + halo; ++p) {
+    // Advance the load frontier: level 0 at position p.
+    if (p < sn) {
+      const auto u = static_cast<std::size_t>(p);
+      rings[0].put(u, Row<T>{sys.a[u], sys.b[u], sys.c[u], sys.d[u]});
+      ++counters.global_row_loads;
+    }
+    // Ascending levels: level j's frontier is p - (2^j - 1); each new value
+    // only needs level j-1 values up to the one just produced.
+    for (unsigned j = 1; j <= k; ++j) {
+      const std::ptrdiff_t reach = static_cast<std::ptrdiff_t>(std::size_t{1} << (j - 1));
+      const std::ptrdiff_t q = p - (2 * reach - 1);
+      if (q < 0 || q >= sn) continue;
+      const Row<T> out = pcr_combine(level_row(j - 1, q - reach),
+                                     level_row(j - 1, q),
+                                     level_row(j - 1, q + reach));
+      ++counters.eliminations;
+      if (j == k) {
+        // Final level: write through to the (in-place) output. Position q
+        // is always behind the load frontier, so this never clobbers an
+        // unread input row.
+        const auto u = static_cast<std::size_t>(q);
+        sys.a[u] = out.a;
+        sys.b[u] = out.b;
+        sys.c[u] = out.c;
+        sys.d[u] = out.d;
+      } else {
+        rings[j].put(static_cast<std::size_t>(q), out);
+      }
+    }
+  }
+  return counters;
+}
+
+template <typename T>
+TiledPcrCounters naive_tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
+                                        std::size_t tile_rows) {
+  TiledPcrCounters counters;
+  const std::size_t n = sys.size();
+  if (k == 0 || n == 0) return counters;
+  assert(tile_rows > 0);
+
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  // All tiles conceptually run in parallel (each is a thread block), so
+  // outputs are staged and written back only after every tile has loaded
+  // its inputs.
+  std::vector<Row<T>> staged(n);
+
+  // Per-level scratch covering [t0 - e_j, t1 + e_j), e_j = 2^k - 2^j.
+  std::vector<std::vector<Row<T>>> level(k + 1);
+
+  for (std::size_t t0 = 0; t0 < n; t0 += tile_rows) {
+    const std::size_t t1 = std::min(t0 + tile_rows, n);
+    const auto st0 = static_cast<std::ptrdiff_t>(t0);
+    const auto st1 = static_cast<std::ptrdiff_t>(t1);
+
+    auto extent = [&](unsigned j) {
+      return static_cast<std::ptrdiff_t>((std::size_t{1} << k) - (std::size_t{1} << j));
+    };
+
+    // Level 0: load the tile plus its halo (counting only real rows —
+    // the redundancy the paper's Eq. 8 quantifies).
+    {
+      const std::ptrdiff_t lo = st0 - extent(0);
+      const std::ptrdiff_t hi = st1 + extent(0);
+      level[0].assign(static_cast<std::size_t>(hi - lo), identity_row<T>());
+      for (std::ptrdiff_t pos = lo; pos < hi; ++pos) {
+        if (pos < 0 || pos >= sn) continue;
+        const auto u = static_cast<std::size_t>(pos);
+        level[0][static_cast<std::size_t>(pos - lo)] =
+            Row<T>{sys.a[u], sys.b[u], sys.c[u], sys.d[u]};
+        ++counters.global_row_loads;
+      }
+    }
+
+    // Levels 1..k, each over a shrinking range.
+    for (unsigned j = 1; j <= k; ++j) {
+      const std::ptrdiff_t lo = st0 - extent(j);
+      const std::ptrdiff_t hi = st1 + extent(j);
+      const std::ptrdiff_t plo = st0 - extent(j - 1);
+      const std::ptrdiff_t reach = static_cast<std::ptrdiff_t>(std::size_t{1} << (j - 1));
+      level[j].assign(static_cast<std::size_t>(hi - lo), identity_row<T>());
+      for (std::ptrdiff_t pos = lo; pos < hi; ++pos) {
+        if (pos < 0 || pos >= sn) continue;  // identities stay identities
+        const Row<T> out =
+            pcr_combine(level[j - 1][static_cast<std::size_t>(pos - reach - plo)],
+                        level[j - 1][static_cast<std::size_t>(pos - plo)],
+                        level[j - 1][static_cast<std::size_t>(pos + reach - plo)]);
+        level[j][static_cast<std::size_t>(pos - lo)] = out;
+        ++counters.eliminations;
+      }
+    }
+
+    for (std::size_t pos = t0; pos < t1; ++pos) {
+      staged[pos] = level[k][pos - t0];  // level k extent is exactly the tile
+    }
+    std::size_t live = 0;
+    for (const auto& lvl : level) live += lvl.size();
+    counters.cache_rows_peak = std::max(counters.cache_rows_peak, live);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.a[i] = staged[i].a;
+    sys.b[i] = staged[i].b;
+    sys.c[i] = staged[i].c;
+    sys.d[i] = staged[i].d;
+  }
+  return counters;
+}
+
+template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned);
+template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned);
+template TiledPcrCounters naive_tiled_pcr_reduce<float>(SystemRef<float>, unsigned,
+                                                        std::size_t);
+template TiledPcrCounters naive_tiled_pcr_reduce<double>(SystemRef<double>, unsigned,
+                                                         std::size_t);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,65 @@
+#pragma once
+// Tiled PCR (paper §III.A): k-step incomplete PCR over a system of any
+// size, streamed through a bounded cache of intermediate values.
+//
+// Two host implementations live here:
+//
+// * tiled_pcr_reduce — the paper's dependency-caching scheme (Figs. 8-10).
+//   Positions are processed in order; the level-j reduction frontier lags
+//   the load frontier by 2^j - 1 positions, so every intermediate value is
+//   produced exactly once and consumed from a small per-level ring buffer.
+//   Total live state is sum_j (2^{j+1} + 1) = 2*f(k) + k rows — the paper's
+//   2*f(k) minimum cache requirement plus one in-flight row per level.
+//   Zero redundant global loads, zero redundant eliminations. Bit-exact
+//   against pcr_reduce (each row's arithmetic is identical).
+//
+// * naive_tiled_pcr_reduce — the strawman of Fig. 7: independent tiles that
+//   re-load f(k) halo rows and re-do g(k) eliminations per boundary
+//   (Eqs. 8-9). Used by the caching ablation bench to *measure* that
+//   redundancy rather than assert it.
+//
+// Both return counters so benches and tests can verify the claims.
+
+#include <cstddef>
+#include <vector>
+
+#include "tridiag/pcr.hpp"
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Work/traffic counters for a tiled PCR run.
+struct TiledPcrCounters {
+  std::size_t global_row_loads = 0;   ///< rows read from the input arrays
+  std::size_t eliminations = 0;       ///< PCR row-eliminations performed
+  std::size_t cache_rows_peak = 0;    ///< peak live intermediate rows
+
+  [[nodiscard]] std::size_t redundant_loads(std::size_t n) const noexcept {
+    return global_row_loads - n;
+  }
+  [[nodiscard]] std::size_t redundant_elims(std::size_t n, unsigned k) const noexcept {
+    return eliminations - k * n;
+  }
+};
+
+/// Streaming dependency-cached k-step PCR, in place. After it returns,
+/// `sys` holds 2^k interleaved independent systems (identical to
+/// pcr_reduce(sys, k), including bit-exact values).
+template <typename T>
+TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k);
+
+/// Naive halo-tiled k-step PCR, in place: splits [0, n) into tiles of
+/// `tile_rows` outputs, each tile independently loading its halo and
+/// recomputing intermediate values (Fig. 7). Produces the same final rows.
+template <typename T>
+TiledPcrCounters naive_tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
+                                        std::size_t tile_rows);
+
+extern template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned);
+extern template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned);
+extern template TiledPcrCounters naive_tiled_pcr_reduce<float>(SystemRef<float>,
+                                                               unsigned, std::size_t);
+extern template TiledPcrCounters naive_tiled_pcr_reduce<double>(SystemRef<double>,
+                                                                unsigned, std::size_t);
+
+}  // namespace tridsolve::tridiag

@@ -1,0 +1,137 @@
+#pragma once
+// Core tridiagonal-system containers and views.
+//
+// Everything downstream (host algorithms, simulated GPU kernels, benches)
+// works on the SoA representation the paper assumes: four arrays a, b, c, d
+// where row i of A x = d is   a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i],
+// with a[0] = 0 and c[n-1] = 0 (Eq. 1 of the paper).
+
+#include <cstddef>
+#include <span>
+
+#include "util/aligned_buffer.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Outcome of a solve. Solvers never throw from hot loops; a zero (or,
+/// for the pivoting LU, exactly-singular) pivot is reported here instead.
+enum class SolveCode {
+  ok,
+  zero_pivot,   ///< elimination hit a zero pivot (system not solvable by
+                ///< this pivot-free algorithm; see lu_gtsv for the referee)
+  singular,     ///< pivoting LU found the matrix exactly singular
+  bad_size,     ///< size mismatch between matrix, rhs, or workspace
+};
+
+struct SolveStatus {
+  SolveCode code = SolveCode::ok;
+  std::size_t index = 0;  ///< offending row for zero_pivot/singular
+
+  [[nodiscard]] bool ok() const noexcept { return code == SolveCode::ok; }
+};
+
+/// Non-owning strided 1-D view. The stride is in elements, not bytes.
+///
+/// Batched layouts address row i of system m at base + i*stride, so a
+/// single view type serves both contiguous (stride 1 within a system)
+/// and interleaved (stride M) layouts, as well as the stride-2^k systems
+/// PCR leaves behind.
+template <typename T>
+class StridedView {
+ public:
+  StridedView() = default;
+  StridedView(T* data, std::size_t n, std::ptrdiff_t stride) noexcept
+      : data_(data), n_(n), stride_(stride) {}
+
+  /// Contiguous view over a span.
+  explicit StridedView(std::span<T> s) noexcept
+      : data_(s.data()), n_(s.size()), stride_(1) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::ptrdiff_t stride() const noexcept { return stride_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+
+  T& operator[](std::size_t i) const noexcept {
+    return data_[static_cast<std::ptrdiff_t>(i) * stride_];
+  }
+
+  /// Address of element i (used by the GPU simulator's transaction model).
+  [[nodiscard]] T* ptr(std::size_t i) const noexcept {
+    return data_ + static_cast<std::ptrdiff_t>(i) * stride_;
+  }
+
+  /// View of `count` elements starting at element `first`.
+  [[nodiscard]] StridedView subview(std::size_t first, std::size_t count) const noexcept {
+    return {ptr(first), count, stride_};
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n_ = 0;
+  std::ptrdiff_t stride_ = 1;
+};
+
+/// The four coefficient views of one tridiagonal system (mutable).
+template <typename T>
+struct SystemRef {
+  StridedView<T> a;  ///< sub-diagonal   (a[0] ignored / zero)
+  StridedView<T> b;  ///< main diagonal
+  StridedView<T> c;  ///< super-diagonal (c[n-1] ignored / zero)
+  StridedView<T> d;  ///< right-hand side
+
+  [[nodiscard]] std::size_t size() const noexcept { return b.size(); }
+};
+
+/// One owning tridiagonal system in SoA form.
+template <typename T>
+class TridiagSystem {
+ public:
+  TridiagSystem() = default;
+  explicit TridiagSystem(std::size_t n) : a_(n), b_(n), c_(n), d_(n), n_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] std::span<T> a() noexcept { return a_.span(); }
+  [[nodiscard]] std::span<T> b() noexcept { return b_.span(); }
+  [[nodiscard]] std::span<T> c() noexcept { return c_.span(); }
+  [[nodiscard]] std::span<T> d() noexcept { return d_.span(); }
+  [[nodiscard]] std::span<const T> a() const noexcept { return a_.span(); }
+  [[nodiscard]] std::span<const T> b() const noexcept { return b_.span(); }
+  [[nodiscard]] std::span<const T> c() const noexcept { return c_.span(); }
+  [[nodiscard]] std::span<const T> d() const noexcept { return d_.span(); }
+
+  [[nodiscard]] SystemRef<T> ref() noexcept {
+    return {StridedView<T>(a_.span()), StridedView<T>(b_.span()),
+            StridedView<T>(c_.span()), StridedView<T>(d_.span())};
+  }
+
+  /// Deep copy (the solvers are destructive; tests copy before solving).
+  [[nodiscard]] TridiagSystem clone() const {
+    TridiagSystem out(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      out.a_[i] = a_[i];
+      out.b_[i] = b_[i];
+      out.c_[i] = c_[i];
+      out.d_[i] = d_[i];
+    }
+    return out;
+  }
+
+ private:
+  util::AlignedBuffer<T> a_, b_, c_, d_;
+  std::size_t n_ = 0;
+};
+
+/// Identity row (0,1,0 | 0): the virtual row used for all out-of-range
+/// neighbours, which makes CR/PCR size-agnostic (x_virtual = 0).
+template <typename T>
+struct Row {
+  T a{}, b{}, c{}, d{};
+};
+
+template <typename T>
+constexpr Row<T> identity_row() noexcept {
+  return Row<T>{T(0), T(1), T(0), T(0)};
+}
+
+}  // namespace tridsolve::tridiag

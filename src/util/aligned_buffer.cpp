@@ -1,0 +1,11 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdint>
+
+namespace tridsolve::util {
+
+bool is_aligned(const void* p, std::size_t alignment) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % alignment == 0;
+}
+
+}  // namespace tridsolve::util

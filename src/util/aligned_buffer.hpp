@@ -1,0 +1,75 @@
+#pragma once
+// Cache-line / SIMD aligned heap buffer.
+//
+// Batched tridiagonal kernels stream long contiguous arrays; allocating them
+// on a 64-byte boundary keeps every row of the SoA layout on its own cache
+// line start and makes the simulated 128-byte memory-transaction accounting
+// in gpusim deterministic (a segment never straddles an allocation edge).
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+namespace tridsolve::util {
+
+/// Default alignment for numeric arrays: the simulated GPU's 128-byte
+/// memory-transaction segment (cudaMalloc guarantees at least this on
+/// real devices), which is also two x86 cache lines.
+inline constexpr std::size_t kDefaultAlignment = 128;
+
+/// Owning, aligned, fixed-size array of trivially-destructible T.
+///
+/// A minimal RAII vector replacement: never reallocates, never default-
+/// initializes more than requested, and exposes itself as std::span.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer is for plain numeric types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, T fill = T{})
+      : size_(count), data_(allocate(count)) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = fill;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.get(), size_}; }
+  [[nodiscard]] std::span<const T> span() const noexcept {
+    return {data_.get(), size_};
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data_.get(); }
+  [[nodiscard]] T* end() noexcept { return data_.get() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data_.get(); }
+  [[nodiscard]] const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const noexcept { ::operator delete[](p, std::align_val_t{kDefaultAlignment}); }
+  };
+
+  static std::unique_ptr<T[], Deleter> allocate(std::size_t count) {
+    if (count == 0) return nullptr;
+    auto* raw = static_cast<T*>(
+        ::operator new[](count * sizeof(T), std::align_val_t{kDefaultAlignment}));
+    return std::unique_ptr<T[], Deleter>(raw);
+  }
+
+  std::size_t size_ = 0;
+  std::unique_ptr<T[], Deleter> data_;
+};
+
+/// True if `p` is aligned to `alignment` bytes.
+bool is_aligned(const void* p, std::size_t alignment) noexcept;
+
+}  // namespace tridsolve::util

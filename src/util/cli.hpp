@@ -1,0 +1,42 @@
+#pragma once
+// Minimal command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean switches.
+// Unknown flags are an error so bench sweeps fail loudly instead of
+// silently running the default configuration.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tridsolve::util {
+
+/// Parsed command line: flag map plus positional arguments.
+class Cli {
+ public:
+  /// Parse argv. `known_flags` lists every accepted flag name (without
+  /// the leading dashes); anything else throws std::invalid_argument.
+  Cli(int argc, const char* const* argv, std::vector<std::string> known_flags);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tridsolve::util

@@ -1,0 +1,45 @@
+#pragma once
+// ASCII table / CSV emitter used by every bench binary to print
+// paper-style rows ("the same rows/series the paper reports").
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tridsolve::util {
+
+/// Column-aligned text table with an optional title, printable as ASCII
+/// or CSV. Cells are strings; numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Set the header row. Resets nothing else.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a fully-formed row.
+  void add_row(std::vector<std::string> row);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  /// Render with aligned columns and a rule under the header.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as CSV (no alignment, comma-separated, quoted when needed).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a CSV cell if it contains a comma, quote or newline.
+std::string csv_escape(std::string_view cell);
+
+}  // namespace tridsolve::util

@@ -1,0 +1,140 @@
+#include "workloads/generators.hpp"
+
+#include <cmath>
+
+namespace tridsolve::workloads {
+
+const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::random_dominant: return "random_dominant";
+    case Kind::toeplitz: return "toeplitz";
+    case Kind::poisson1d: return "poisson1d";
+    case Kind::adi_sweep: return "adi_sweep";
+    case Kind::spline: return "spline";
+    case Kind::needs_pivoting: return "needs_pivoting";
+  }
+  return "?";
+}
+
+template <typename T>
+void fill_matrix(Kind kind, tridiag::SystemRef<T> sys, util::Xoshiro256& rng) {
+  const std::size_t n = sys.size();
+  if (n == 0) return;
+
+  switch (kind) {
+    case Kind::random_dominant: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = i == 0 ? 0.0 : util::uniform(rng, -1.0, 1.0);
+        const double c = i + 1 == n ? 0.0 : util::uniform(rng, -1.0, 1.0);
+        // Strict dominance with margin keeps every reduced pivot bounded
+        // away from zero through all PCR/CR levels (dominance is preserved
+        // by the reduction).
+        const double mag = std::abs(a) + std::abs(c) + util::uniform(rng, 0.25, 1.25);
+        const double sign = rng() & 1 ? 1.0 : -1.0;
+        sys.a[i] = static_cast<T>(a);
+        sys.b[i] = static_cast<T>(sign * mag);
+        sys.c[i] = static_cast<T>(c);
+      }
+      break;
+    }
+    case Kind::toeplitz: {
+      for (std::size_t i = 0; i < n; ++i) {
+        sys.a[i] = i == 0 ? T(0) : T(1);
+        sys.b[i] = T(4);
+        sys.c[i] = i + 1 == n ? T(0) : T(1);
+      }
+      break;
+    }
+    case Kind::poisson1d: {
+      for (std::size_t i = 0; i < n; ++i) {
+        sys.a[i] = i == 0 ? T(0) : T(-1);
+        sys.b[i] = T(2);
+        sys.c[i] = i + 1 == n ? T(0) : T(-1);
+      }
+      break;
+    }
+    case Kind::adi_sweep: {
+      const double r = util::uniform(rng, 0.1, 2.0);  // diffusion number
+      for (std::size_t i = 0; i < n; ++i) {
+        sys.a[i] = i == 0 ? T(0) : static_cast<T>(-r);
+        sys.b[i] = static_cast<T>(1.0 + 2.0 * r);
+        sys.c[i] = i + 1 == n ? T(0) : static_cast<T>(-r);
+      }
+      break;
+    }
+    case Kind::spline: {
+      // Natural cubic spline second-derivative system with random knot
+      // spacing h_i in [0.5, 1.5): rows (h_{i-1}, 2(h_{i-1}+h_i), h_i).
+      double h_prev = util::uniform(rng, 0.5, 1.5);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double h_next = util::uniform(rng, 0.5, 1.5);
+        sys.a[i] = i == 0 ? T(0) : static_cast<T>(h_prev);
+        sys.b[i] = static_cast<T>(2.0 * (h_prev + h_next));
+        sys.c[i] = i + 1 == n ? T(0) : static_cast<T>(h_next);
+        h_prev = h_next;
+      }
+      break;
+    }
+    case Kind::needs_pivoting: {
+      // Alternate rows with near-zero diagonals but large off-diagonals:
+      // adjacent-row interchanges are mandatory for stability.
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool weak = (i % 2 == 0) && i + 1 < n;
+        sys.a[i] = i == 0 ? T(0) : static_cast<T>(util::uniform(rng, 1.0, 2.0));
+        sys.b[i] = weak ? static_cast<T>(util::uniform(rng, -1e-3, 1e-3))
+                        : static_cast<T>(util::uniform(rng, 2.5, 4.0));
+        sys.c[i] = i + 1 == n ? T(0) : static_cast<T>(util::uniform(rng, 1.0, 2.0));
+      }
+      break;
+    }
+  }
+}
+
+template <typename T>
+void fill_rhs_for_solution(tridiag::SystemRef<T> sys,
+                           tridiag::StridedView<const T> x_true) {
+  const std::size_t n = sys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    T d = sys.b[i] * x_true[i];
+    if (i > 0) d += sys.a[i] * x_true[i - 1];
+    if (i + 1 < n) d += sys.c[i] * x_true[i + 1];
+    sys.d[i] = d;
+  }
+}
+
+template <typename T>
+void fill_rhs_random(tridiag::SystemRef<T> sys, util::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < sys.size(); ++i) {
+    sys.d[i] = static_cast<T>(util::uniform(rng, -1.0, 1.0));
+  }
+}
+
+template <typename T>
+tridiag::SystemBatch<T> make_batch(Kind kind, std::size_t num_systems,
+                                   std::size_t n, tridiag::Layout layout,
+                                   std::uint64_t seed) {
+  tridiag::SystemBatch<T> batch(num_systems, n, layout);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t m = 0; m < num_systems; ++m) {
+    auto sys = batch.system(m);
+    fill_matrix(kind, sys, rng);
+    fill_rhs_random(sys, rng);
+  }
+  return batch;
+}
+
+template void fill_matrix<float>(Kind, tridiag::SystemRef<float>, util::Xoshiro256&);
+template void fill_matrix<double>(Kind, tridiag::SystemRef<double>, util::Xoshiro256&);
+template void fill_rhs_for_solution<float>(tridiag::SystemRef<float>,
+                                           tridiag::StridedView<const float>);
+template void fill_rhs_for_solution<double>(tridiag::SystemRef<double>,
+                                            tridiag::StridedView<const double>);
+template void fill_rhs_random<float>(tridiag::SystemRef<float>, util::Xoshiro256&);
+template void fill_rhs_random<double>(tridiag::SystemRef<double>, util::Xoshiro256&);
+template tridiag::SystemBatch<float> make_batch<float>(Kind, std::size_t, std::size_t,
+                                                       tridiag::Layout, std::uint64_t);
+template tridiag::SystemBatch<double> make_batch<double>(Kind, std::size_t,
+                                                         std::size_t, tridiag::Layout,
+                                                         std::uint64_t);
+
+}  // namespace tridsolve::workloads

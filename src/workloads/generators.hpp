@@ -1,0 +1,71 @@
+#pragma once
+// Workload generators for tests, examples and benches.
+//
+// The paper evaluates on batches of (M systems) x (N unknowns) without
+// prescribing matrix entries; these generators cover the application
+// classes its introduction motivates (fluid/ADI sweeps, Poisson problems,
+// cubic splines) plus stress cases (random dominant, pivot-requiring).
+
+#include <cstdint>
+
+#include "tridiag/layout.hpp"
+#include "tridiag/types.hpp"
+#include "util/random.hpp"
+
+namespace tridsolve::workloads {
+
+enum class Kind {
+  random_dominant,  ///< random entries, strictly diagonally dominant
+  toeplitz,         ///< constant (1, 4, 1) spline-like stencil
+  poisson1d,        ///< (-1, 2, -1) Laplacian, Dirichlet boundaries
+  adi_sweep,        ///< (-r, 1+2r, -r) implicit diffusion sweep
+  spline,           ///< natural cubic spline with random knot spacing
+  needs_pivoting,   ///< rows with tiny diagonals: breaks pivot-free solvers,
+                    ///< exercises lu_gtsv's interchanges
+};
+
+[[nodiscard]] const char* kind_name(Kind k) noexcept;
+
+/// Fill one system's coefficients (a, b, c only; d untouched).
+template <typename T>
+void fill_matrix(Kind kind, tridiag::SystemRef<T> sys, util::Xoshiro256& rng);
+
+/// Fill d so that the exact solution is `x_true`.
+template <typename T>
+void fill_rhs_for_solution(tridiag::SystemRef<T> sys,
+                           tridiag::StridedView<const T> x_true);
+
+/// Fill d with uniform random values in [-1, 1).
+template <typename T>
+void fill_rhs_random(tridiag::SystemRef<T> sys, util::Xoshiro256& rng);
+
+/// Generate a full batch: matrix per `kind`, random rhs. Deterministic in
+/// `seed` regardless of layout.
+template <typename T>
+[[nodiscard]] tridiag::SystemBatch<T> make_batch(Kind kind, std::size_t num_systems,
+                                                 std::size_t n,
+                                                 tridiag::Layout layout,
+                                                 std::uint64_t seed);
+
+extern template void fill_matrix<float>(Kind, tridiag::SystemRef<float>,
+                                        util::Xoshiro256&);
+extern template void fill_matrix<double>(Kind, tridiag::SystemRef<double>,
+                                         util::Xoshiro256&);
+extern template void fill_rhs_for_solution<float>(tridiag::SystemRef<float>,
+                                                  tridiag::StridedView<const float>);
+extern template void fill_rhs_for_solution<double>(tridiag::SystemRef<double>,
+                                                   tridiag::StridedView<const double>);
+extern template void fill_rhs_random<float>(tridiag::SystemRef<float>,
+                                            util::Xoshiro256&);
+extern template void fill_rhs_random<double>(tridiag::SystemRef<double>,
+                                             util::Xoshiro256&);
+extern template tridiag::SystemBatch<float> make_batch<float>(Kind, std::size_t,
+                                                              std::size_t,
+                                                              tridiag::Layout,
+                                                              std::uint64_t);
+extern template tridiag::SystemBatch<double> make_batch<double>(Kind, std::size_t,
+                                                                std::size_t,
+                                                                tridiag::Layout,
+                                                                std::uint64_t);
+
+}  // namespace tridsolve::workloads

@@ -1,0 +1,93 @@
+// CPU baseline tests: the real batched gtsv solves correctly; the timing
+// model reproduces the linearity and ratio properties the paper relies on.
+
+#include <gtest/gtest.h>
+
+#include "cpu_baselines/mkl_like.hpp"
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/residual.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+namespace cb = tridsolve::cpu;
+
+TEST(CpuSolveBatch, SolvesEverySystem) {
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 32, 200,
+                                      td::Layout::contiguous, 5);
+  const auto orig = batch.clone();
+  ASSERT_TRUE(cb::solve_batch(batch).ok());
+  auto check = orig.clone();
+  for (std::size_t m = 0; m < 32; ++m) {
+    std::vector<double> x(200);
+    auto sys = check.system(m);
+    ASSERT_TRUE(
+        td::lu_gtsv<double>(sys, td::StridedView<double>(x.data(), 200, 1)).ok());
+    for (std::size_t i = 0; i < 200; ++i) {
+      EXPECT_NEAR(batch.d()[batch.index(m, i)], x[i], 1e-12);
+    }
+  }
+}
+
+TEST(CpuSolveBatch, WorksOnInterleavedLayout) {
+  auto batch = wl::make_batch<double>(wl::Kind::spline, 8, 64,
+                                      td::Layout::interleaved, 9);
+  auto orig = batch.clone();
+  ASSERT_TRUE(cb::solve_batch(batch).ok());
+  for (std::size_t m = 0; m < 8; ++m) {
+    // residual against the original coefficients
+    auto osys = orig.system(m);
+    auto ssys = batch.system(m);
+    EXPECT_LT(td::relative_residual(td::as_const(osys),
+                                    td::as_const(ssys).d),
+              1e-13);
+  }
+}
+
+TEST(CpuSolveBatch, PivotingHandlesWeakDiagonals) {
+  auto batch = wl::make_batch<double>(wl::Kind::needs_pivoting, 4, 100,
+                                      td::Layout::contiguous, 13);
+  auto orig = batch.clone();
+  ASSERT_TRUE(cb::solve_batch(batch).ok());
+  for (std::size_t m = 0; m < 4; ++m) {
+    auto osys = orig.system(m);
+    auto ssys = batch.system(m);
+    EXPECT_LT(td::relative_residual(td::as_const(osys), td::as_const(ssys).d),
+              1e-10);
+  }
+}
+
+TEST(CpuModel, SequentialIsLinearInMAndN) {
+  const cb::CpuModel model;
+  const double t1 = model.sequential_us(100, 512, true);
+  EXPECT_NEAR(model.sequential_us(200, 512, true), 2.0 * t1, 1e-9);
+  // Linear in N up to the per-call overhead.
+  const double per_row =
+      (model.sequential_us(1, 1024, true) - model.sequential_us(1, 512, true)) / 512;
+  EXPECT_NEAR(per_row, 66.5 / (3.33 * 1e3), 1e-6);
+}
+
+TEST(CpuModel, MultithreadedRatioMatchesPaper) {
+  // 49x / 8.3x = 5.9x MT speedup at saturation; M=1 gets no threading.
+  const cb::CpuModel model;
+  const double seq = model.sequential_us(16384, 512, true);
+  const double mt = model.multithreaded_us(16384, 512, true);
+  EXPECT_NEAR(seq / mt, 5.9, 0.01);
+  EXPECT_DOUBLE_EQ(model.multithreaded_us(1, 4096, true),
+                   model.sequential_us(1, 4096, true));
+}
+
+TEST(CpuModel, FewSystemsGetPartialSpeedup) {
+  const cb::CpuModel model;
+  // Large N so the one-off fork overhead is negligible: 3 systems -> ~3x.
+  const double seq = model.sequential_us(3, 16384, true);
+  const double mt = model.multithreaded_us(3, 16384, true);
+  EXPECT_GT(seq / mt, 2.5);
+  EXPECT_LT(seq / mt, 3.01);
+}
+
+TEST(CpuModel, SinglePrecisionIsCheaper) {
+  const cb::CpuModel model;
+  EXPECT_LT(model.sequential_us(1000, 512, false),
+            model.sequential_us(1000, 512, true));
+}

@@ -1,0 +1,145 @@
+// Cyclic reduction and recursive doubling tests: accuracy against the
+// pivoting-LU referee on every workload class and assorted sizes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/cyclic_reduction.hpp"
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/recursive_doubling.hpp"
+#include "tridiag/residual.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/stats.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::AlignedBuffer;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> make_system(wl::Kind kind, std::size_t n,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(kind, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+std::vector<double> reference_solution(const td::TridiagSystem<double>& s) {
+  auto copy = s.clone();
+  std::vector<double> x(s.size());
+  EXPECT_TRUE(
+      td::lu_gtsv(copy.ref(), td::StridedView<double>(x.data(), x.size(), 1)).ok());
+  return x;
+}
+
+}  // namespace
+
+class CrSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrSizes, MatchesReference) {
+  const std::size_t n = GetParam();
+  auto s = make_system(wl::Kind::random_dominant, n, n * 3 + 5);
+  const auto ref = reference_solution(s);
+  AlignedBuffer<double> x(n);
+  ASSERT_TRUE(td::cr_solve(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(x.span(), std::span<const double>(ref)),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, CrSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 7, 8, 9,
+                                                        15, 16, 17, 100, 128,
+                                                        1000, 1024, 1025));
+
+class RdSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RdSizes, MatchesReference) {
+  const std::size_t n = GetParam();
+  auto s = make_system(wl::Kind::random_dominant, n, n * 7 + 13);
+  const auto ref = reference_solution(s);
+  AlignedBuffer<double> x(n);
+  ASSERT_TRUE(td::rd_solve(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(x.span(), std::span<const double>(ref)),
+            1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, RdSizes,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 5, 7, 8, 9,
+                                                        15, 16, 17, 100, 128,
+                                                        1000, 1024, 1025));
+
+TEST(Cr, AllWorkloadKinds) {
+  for (auto kind : {wl::Kind::toeplitz, wl::Kind::poisson1d, wl::Kind::adi_sweep,
+                    wl::Kind::spline}) {
+    auto s = make_system(kind, 300, 21);
+    auto copy = s.clone();
+    AlignedBuffer<double> x(300);
+    ASSERT_TRUE(td::cr_solve(s.ref(), td::StridedView<double>(x.span())).ok())
+        << wl::kind_name(kind);
+    EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                    td::StridedView<const double>(x.data(), 300, 1)),
+              1e-12)
+        << wl::kind_name(kind);
+  }
+}
+
+TEST(Rd, AllWorkloadKinds) {
+  for (auto kind : {wl::Kind::toeplitz, wl::Kind::poisson1d, wl::Kind::adi_sweep,
+                    wl::Kind::spline}) {
+    auto s = make_system(kind, 300, 22);
+    auto copy = s.clone();
+    AlignedBuffer<double> x(300);
+    ASSERT_TRUE(td::rd_solve(s.ref(), td::StridedView<double>(x.span())).ok())
+        << wl::kind_name(kind);
+    EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                    td::StridedView<const double>(x.data(), 300, 1)),
+              1e-10)
+        << wl::kind_name(kind);
+  }
+}
+
+TEST(Cr, NonDestructiveOnInput) {
+  auto s = make_system(wl::Kind::random_dominant, 64, 9);
+  const auto before = s.clone();
+  AlignedBuffer<double> x(64);
+  ASSERT_TRUE(td::cr_solve(s.ref(), td::StridedView<double>(x.span())).ok());
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(s.b()[i], before.b()[i]);
+}
+
+TEST(Cr, EliminationStepCount) {
+  // ~2n total work: (npad - 1) forward + npad backward.
+  EXPECT_EQ(td::cr_elimination_steps(1), 1u);
+  EXPECT_EQ(td::cr_elimination_steps(8), 15u);  // 7 forward + 8 backward
+  EXPECT_EQ(td::cr_elimination_steps(9), 31u);  // pads to 16
+}
+
+TEST(Rd, FloatPrecision) {
+  Xoshiro256 rng(31);
+  td::TridiagSystem<float> s(200);
+  wl::fill_matrix(wl::Kind::toeplitz, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  auto copy = s.clone();
+  AlignedBuffer<float> x(200);
+  ASSERT_TRUE(td::rd_solve(s.ref(), td::StridedView<float>(x.span())).ok());
+  EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                  td::StridedView<const float>(x.data(), 200, 1)),
+            2e-5);
+}
+
+TEST(Cr, FloatPrecision) {
+  Xoshiro256 rng(32);
+  td::TridiagSystem<float> s(200);
+  wl::fill_matrix(wl::Kind::toeplitz, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  auto copy = s.clone();
+  AlignedBuffer<float> x(200);
+  ASSERT_TRUE(td::cr_solve(s.ref(), td::StridedView<float>(x.span())).ok());
+  EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                  td::StridedView<const float>(x.data(), 200, 1)),
+            2e-5);
+}

@@ -1,0 +1,196 @@
+// Failure-injection and edge-case suite: bad launch configurations,
+// shared-memory exhaustion, singular/NaN inputs, and degenerate shapes —
+// every public entry point must fail loudly (status or exception), never
+// hang or corrupt unrelated state.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/tiled_pcr_kernel.hpp"
+#include "gpu_solvers/zhang_pcr_thomas.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "tridiag/cyclic_reduction.hpp"
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/pcr.hpp"
+#include "tridiag/recursive_doubling.hpp"
+#include "tridiag/thomas.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+namespace gp = tridsolve::gpu;
+namespace gs = tridsolve::gpusim;
+using tridsolve::util::Xoshiro256;
+
+TEST(FailureInjection, NanInputsPropagateNotHang) {
+  Xoshiro256 rng(1);
+  td::TridiagSystem<double> sys(64);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  wl::fill_rhs_random(sys.ref(), rng);
+  sys.d()[17] = std::numeric_limits<double>::quiet_NaN();
+
+  std::vector<double> x(64);
+  const auto st =
+      td::thomas_solve(sys.ref(), td::StridedView<double>(x.data(), 64, 1));
+  ASSERT_TRUE(st.ok());  // Thomas has no NaN check; values must carry it
+  bool any_nan = false;
+  for (double v : x) any_nan |= std::isnan(v);
+  EXPECT_TRUE(any_nan);
+}
+
+TEST(FailureInjection, SingularSystemsReportedByEveryDirectSolver) {
+  td::TridiagSystem<double> sys(4);  // all-zero matrix
+  std::vector<double> x(4);
+  EXPECT_EQ(td::thomas_solve(sys.ref(), td::StridedView<double>(x.data(), 4, 1)).code,
+            td::SolveCode::zero_pivot);
+  EXPECT_EQ(td::lu_gtsv(sys.ref(), td::StridedView<double>(x.data(), 4, 1)).code,
+            td::SolveCode::singular);
+  EXPECT_EQ(td::cr_solve(sys.ref(), td::StridedView<double>(x.data(), 4, 1)).code,
+            td::SolveCode::zero_pivot);
+  EXPECT_EQ(td::rd_solve(sys.ref(), td::StridedView<double>(x.data(), 4, 1)).code,
+            td::SolveCode::zero_pivot);
+  auto copy = sys.clone();
+  EXPECT_EQ(td::pcr_solve(copy.ref(), td::StridedView<double>(x.data(), 4, 1)).code,
+            td::SolveCode::zero_pivot);
+}
+
+TEST(FailureInjection, MismatchedSizesAreBadSize) {
+  Xoshiro256 rng(2);
+  td::TridiagSystem<double> sys(8);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  std::vector<double> x(7);  // wrong
+  EXPECT_EQ(td::thomas_solve(sys.ref(), td::StridedView<double>(x.data(), 7, 1)).code,
+            td::SolveCode::bad_size);
+  EXPECT_EQ(td::lu_gtsv(sys.ref(), td::StridedView<double>(x.data(), 7, 1)).code,
+            td::SolveCode::bad_size);
+  EXPECT_EQ(td::cr_solve(sys.ref(), td::StridedView<double>(x.data(), 7, 1)).code,
+            td::SolveCode::bad_size);
+  EXPECT_EQ(td::rd_solve(sys.ref(), td::StridedView<double>(x.data(), 7, 1)).code,
+            td::SolveCode::bad_size);
+}
+
+TEST(FailureInjection, EmptyAndUnitBatches) {
+  const auto dev = gs::gtx480();
+  td::SystemBatch<double> empty(0, 0, td::Layout::contiguous);
+  const auto rep = gp::hybrid_solve(dev, empty);
+  EXPECT_DOUBLE_EQ(rep.total_us(), 0.0);
+
+  auto unit = wl::make_batch<double>(wl::Kind::random_dominant, 1, 1,
+                                     td::Layout::contiguous, 3);
+  const double b = unit.b()[0], d = unit.d()[0];
+  gp::hybrid_solve(dev, unit);
+  EXPECT_NEAR(unit.d()[0], d / b, 1e-14);
+}
+
+TEST(FailureInjection, HybridWithOversizedForcedK) {
+  // force_k = 8 on a 100-row system: 2^k exceeds the system size, so most
+  // reduced classes do not exist — the solve must still be correct.
+  const auto dev = gs::gtx480();
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 2, 100,
+                                      td::Layout::contiguous, 4);
+  const auto orig = batch.clone();
+  gp::HybridOptions opts;
+  opts.force_k = 8;
+  gp::hybrid_solve(dev, batch, opts);
+
+  auto check = orig.clone();
+  std::vector<double> x(100);
+  for (std::size_t m = 0; m < 2; ++m) {
+    auto sys = check.system(m);
+    ASSERT_TRUE(
+        td::lu_gtsv<double>(sys, td::StridedView<double>(x.data(), 100, 1)).ok());
+    for (std::size_t i = 0; i < 100; ++i) {
+      EXPECT_NEAR(batch.d()[batch.index(m, i)], x[i], 1e-8);
+    }
+  }
+}
+
+TEST(FailureInjection, HybridRejectsImpossibleK) {
+  const auto dev = gs::gtx480();
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 2, 64,
+                                      td::Layout::contiguous, 5);
+  gp::HybridOptions opts;
+  opts.force_k = 11;  // 2048 threads > 1024/block
+  EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::invalid_argument);
+  // k = 9 is launchable thread-wise but its window (~65 KB of rows)
+  // exceeds the GTX480's 48 KB shared memory: rejected like a real launch.
+  opts.force_k = 9;
+  EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::length_error);
+}
+
+TEST(FailureInjection, TiledPcrSharedOverflowThrows) {
+  const auto dev = gs::gtx480();
+  const std::size_t n = 8192;
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 1, n,
+                                      td::Layout::contiguous, 6);
+  std::vector<gp::TiledPcrWork<double>> work{
+      {batch.system(0), batch.system(0), 0, n}};
+  gp::TiledPcrConfig cfg;
+  cfg.k = 8;
+  cfg.c = 8;  // window of ~2 * 8 * 256 rows * 32 B >> 48 KB
+  EXPECT_THROW(gp::tiled_pcr_kernel<double>(dev, work, cfg), std::length_error);
+}
+
+TEST(FailureInjection, MultiWindowSharedOverflowThrows) {
+  const auto dev = gs::gtx480();
+  const std::size_t n = 4096;
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 8, n,
+                                      td::Layout::contiguous, 7);
+  std::vector<gp::TiledPcrWork<double>> work;
+  for (std::size_t m = 0; m < 8; ++m) {
+    work.push_back({batch.system(m), batch.system(m), 0, n});
+  }
+  gp::TiledPcrConfig cfg;
+  cfg.k = 8;                  // ~32 KB per window
+  cfg.systems_per_block = 4;  // 4 windows > 48 KB
+  EXPECT_THROW(gp::tiled_pcr_kernel<double>(dev, work, cfg), std::length_error);
+}
+
+TEST(FailureInjection, GtsvWorkspaceTooSmall) {
+  Xoshiro256 rng(8);
+  td::TridiagSystem<double> sys(16);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  std::vector<double> x(16), small(8);
+  td::GtsvWorkspace<double> ws{std::span<double>(small), std::span<double>(small),
+                               std::span<double>(small), std::span<double>(small)};
+  EXPECT_EQ(td::lu_gtsv(sys.ref(), td::StridedView<double>(x.data(), 16, 1), ws).code,
+            td::SolveCode::bad_size);
+}
+
+TEST(FailureInjection, ZhangThrowsBeyondShared) {
+  const auto dev = gs::gtx480();
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 1, 1537,
+                                      td::Layout::contiguous, 9);
+  EXPECT_THROW(gp::zhang_solve<double>(dev, batch), std::invalid_argument);
+}
+
+TEST(FailureInjection, LaunchRejectsZeroThreads) {
+  const auto dev = gs::gtx480();
+  EXPECT_THROW(gs::launch(dev, {1, 0}, [](gs::BlockContext&) {}),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, WeakDominanceStillSolvesPoisson) {
+  // Poisson rows are only weakly dominant (|b| == |a|+|c| in the
+  // interior); the pivot-free pipeline must still be accurate.
+  const auto dev = gs::gtx480();
+  auto batch = wl::make_batch<double>(wl::Kind::poisson1d, 4, 1000,
+                                      td::Layout::contiguous, 10);
+  const auto orig = batch.clone();
+  gp::hybrid_solve(dev, batch);
+  auto check = orig.clone();
+  std::vector<double> x(1000);
+  for (std::size_t m = 0; m < 4; ++m) {
+    auto sys = check.system(m);
+    ASSERT_TRUE(
+        td::lu_gtsv<double>(sys, td::StridedView<double>(x.data(), 1000, 1)).ok());
+    for (std::size_t i = 0; i < 1000; ++i) {
+      EXPECT_NEAR(batch.d()[batch.index(m, i)], x[i], 1e-6);
+    }
+  }
+}

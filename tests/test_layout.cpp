@@ -1,0 +1,83 @@
+// Tests for batched system storage and the contiguous/interleaved layouts.
+
+#include <gtest/gtest.h>
+
+#include "tridiag/layout.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+
+TEST(Layout, ContiguousIndexing) {
+  td::SystemBatch<double> batch(3, 4, td::Layout::contiguous);
+  EXPECT_EQ(batch.index(0, 0), 0u);
+  EXPECT_EQ(batch.index(1, 0), 4u);
+  EXPECT_EQ(batch.index(2, 3), 11u);
+}
+
+TEST(Layout, InterleavedIndexing) {
+  td::SystemBatch<double> batch(3, 4, td::Layout::interleaved);
+  EXPECT_EQ(batch.index(0, 0), 0u);
+  EXPECT_EQ(batch.index(1, 0), 1u);
+  EXPECT_EQ(batch.index(0, 1), 3u);
+  EXPECT_EQ(batch.index(2, 3), 11u);
+}
+
+TEST(Layout, SystemViewStrides) {
+  td::SystemBatch<double> cont(4, 8, td::Layout::contiguous);
+  EXPECT_EQ(cont.system(2).b.stride(), 1);
+  td::SystemBatch<double> inter(4, 8, td::Layout::interleaved);
+  EXPECT_EQ(inter.system(2).b.stride(), 4);
+}
+
+TEST(Layout, SystemViewWritesLandInFlatArray) {
+  td::SystemBatch<double> batch(2, 3, td::Layout::interleaved);
+  auto sys = batch.system(1);
+  sys.b[2] = 9.0;
+  EXPECT_DOUBLE_EQ(batch.b()[2 * 2 + 1], 9.0);
+}
+
+TEST(Layout, ConvertRoundTripPreservesEverything) {
+  const auto orig = wl::make_batch<double>(wl::Kind::random_dominant, 5, 17,
+                                           td::Layout::contiguous, 42);
+  const auto inter = td::convert_layout(orig, td::Layout::interleaved);
+  const auto back = td::convert_layout(inter, td::Layout::contiguous);
+  for (std::size_t i = 0; i < orig.total_rows(); ++i) {
+    EXPECT_EQ(orig.a()[i], back.a()[i]);
+    EXPECT_EQ(orig.b()[i], back.b()[i]);
+    EXPECT_EQ(orig.c()[i], back.c()[i]);
+    EXPECT_EQ(orig.d()[i], back.d()[i]);
+  }
+}
+
+TEST(Layout, ConvertMovesElementsToExpectedSlots) {
+  td::SystemBatch<double> cont(2, 2, td::Layout::contiguous);
+  // system 0: b = {1, 2}; system 1: b = {3, 4}
+  cont.b()[0] = 1;
+  cont.b()[1] = 2;
+  cont.b()[2] = 3;
+  cont.b()[3] = 4;
+  const auto inter = td::convert_layout(cont, td::Layout::interleaved);
+  EXPECT_DOUBLE_EQ(inter.b()[0], 1);  // (m=0, i=0)
+  EXPECT_DOUBLE_EQ(inter.b()[1], 3);  // (m=1, i=0)
+  EXPECT_DOUBLE_EQ(inter.b()[2], 2);  // (m=0, i=1)
+  EXPECT_DOUBLE_EQ(inter.b()[3], 4);  // (m=1, i=1)
+}
+
+TEST(Layout, CloneIsDeep) {
+  auto batch = wl::make_batch<float>(wl::Kind::toeplitz, 2, 4,
+                                     td::Layout::contiguous, 1);
+  auto copy = batch.clone();
+  copy.b()[0] = -99.0f;
+  EXPECT_NE(batch.b()[0], copy.b()[0]);
+}
+
+TEST(StridedView, SubviewAndPtr) {
+  double data[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  td::StridedView<double> v(data, 5, 2);  // 0,2,4,6,8
+  EXPECT_DOUBLE_EQ(v[2], 4.0);
+  EXPECT_EQ(v.ptr(3), data + 6);
+  auto sub = v.subview(1, 3);  // 2,4,6
+  EXPECT_DOUBLE_EQ(sub[0], 2.0);
+  EXPECT_DOUBLE_EQ(sub[2], 6.0);
+}

@@ -1,0 +1,127 @@
+// Pivoting LU (gtsv-style) tests: agreement with Thomas on dominant
+// systems, stability where Thomas fails, singularity detection.
+
+#include <gtest/gtest.h>
+
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/residual.hpp"
+#include "tridiag/thomas.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/stats.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::AlignedBuffer;
+using tridsolve::util::Xoshiro256;
+
+TEST(LuGtsv, MatchesThomasOnDominantSystem) {
+  Xoshiro256 rng(17);
+  td::TridiagSystem<double> s(301);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+
+  auto copy = s.clone();
+  AlignedBuffer<double> x_lu(301), x_th(301);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x_lu.span())).ok());
+  ASSERT_TRUE(td::thomas_solve(copy.ref(), td::StridedView<double>(x_th.span())).ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(x_lu.span(), x_th.span()), 1e-11);
+}
+
+TEST(LuGtsv, StableWherePivotingIsRequired) {
+  Xoshiro256 rng(23);
+  td::TridiagSystem<double> s(200);
+  wl::fill_matrix(wl::Kind::needs_pivoting, s.ref(), rng);
+  AlignedBuffer<double> x_true(200);
+  tridsolve::util::fill_uniform(rng, x_true.span(), -1.0, 1.0);
+  wl::fill_rhs_for_solution(s.ref(),
+                            td::StridedView<const double>(x_true.data(), 200, 1));
+  AlignedBuffer<double> x(200);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(x.span(), x_true.span()), 1e-8);
+}
+
+TEST(LuGtsv, ExactZeroDiagonalNeedsInterchange) {
+  // b[0] = 0 kills Thomas instantly; pivoting handles it.
+  td::TridiagSystem<double> s(3);
+  s.a()[0] = 0; s.a()[1] = 1; s.a()[2] = 2;
+  s.b()[0] = 0; s.b()[1] = 1; s.b()[2] = 1;
+  s.c()[0] = 1; s.c()[1] = 1; s.c()[2] = 0;
+  // x_true = (1, 2, 3): d = (2, 6, 7)
+  s.d()[0] = 2; s.d()[1] = 6; s.d()[2] = 7;
+  AlignedBuffer<double> x(3);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LuGtsv, DetectsSingularMatrix) {
+  td::TridiagSystem<double> s(2);
+  // Rows are (1,1) and (1,1): rank 1.
+  s.b()[0] = 1; s.c()[0] = 1;
+  s.a()[1] = 1; s.b()[1] = 1;
+  s.d()[0] = 1; s.d()[1] = 2;
+  AlignedBuffer<double> x(2);
+  const auto st = td::lu_gtsv(s.ref(), td::StridedView<double>(x.span()));
+  EXPECT_EQ(st.code, td::SolveCode::singular);
+}
+
+TEST(LuGtsv, DetectsAllZeroMatrix) {
+  td::TridiagSystem<double> s(3);  // zero-initialized
+  AlignedBuffer<double> x(3);
+  const auto st = td::lu_gtsv(s.ref(), td::StridedView<double>(x.span()));
+  EXPECT_EQ(st.code, td::SolveCode::singular);
+}
+
+TEST(LuGtsv, SizeOne) {
+  td::TridiagSystem<double> s(1);
+  s.b()[0] = -2;
+  s.d()[0] = 5;
+  AlignedBuffer<double> x(1);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_DOUBLE_EQ(x[0], -2.5);
+}
+
+TEST(LuGtsv, SizeTwoWithInterchange) {
+  td::TridiagSystem<double> s(2);
+  s.b()[0] = 0.001; s.c()[0] = 1;
+  s.a()[1] = 1;     s.b()[1] = 0.001;
+  // x_true = (1, 1): d = (1.001, 1.001)
+  s.d()[0] = 1.001; s.d()[1] = 1.001;
+  AlignedBuffer<double> x(2);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LuGtsv, ResidualTinyOnLongRandomSystems) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Xoshiro256 rng(seed);
+    const std::size_t n = 1000 + 17 * seed;
+    td::TridiagSystem<double> s(n);
+    wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+    wl::fill_rhs_random(s.ref(), rng);
+    AlignedBuffer<double> x(n);
+    ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+    EXPECT_LT(td::relative_residual(td::as_const(s.ref()),
+                                    td::StridedView<const double>(x.data(), n, 1)),
+              1e-14);
+  }
+}
+
+TEST(LuGtsv, NonDestructiveOnInput) {
+  Xoshiro256 rng(5);
+  td::TridiagSystem<double> s(50);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  const auto before = s.clone();
+  AlignedBuffer<double> x(50);
+  ASSERT_TRUE(td::lu_gtsv(s.ref(), td::StridedView<double>(x.span())).ok());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(s.a()[i], before.a()[i]);
+    EXPECT_EQ(s.b()[i], before.b()[i]);
+    EXPECT_EQ(s.c()[i], before.c()[i]);
+    EXPECT_EQ(s.d()[i], before.d()[i]);
+  }
+}

@@ -1,0 +1,133 @@
+// Block-partition (Wang/SPIKE-style) solver tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/partition.hpp"
+#include "tridiag/residual.hpp"
+#include "util/stats.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> make_system(wl::Kind kind, std::size_t n,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(kind, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+std::vector<double> referee(const td::TridiagSystem<double>& s) {
+  std::vector<double> x(s.size());
+  auto copy = s.clone();
+  EXPECT_TRUE(
+      td::lu_gtsv(copy.ref(), td::StridedView<double>(x.data(), x.size(), 1)).ok());
+  return x;
+}
+
+}  // namespace
+
+class PartitionParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(PartitionParam, MatchesReferee) {
+  const auto [n, p] = GetParam();
+  auto s = make_system(wl::Kind::random_dominant, n, 31 * n + p);
+  const auto ref = referee(s);
+  std::vector<double> x(n);
+  ASSERT_TRUE(
+      td::partition_solve(s.ref(), td::StridedView<double>(x.data(), n, 1), p)
+          .ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(std::span<const double>(x),
+                                          std::span<const double>(ref)),
+            1e-9)
+      << "n=" << n << " p=" << p;
+}
+
+using NP = std::tuple<std::size_t, std::size_t>;
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionParam,
+    ::testing::Values(NP{4, 2}, NP{16, 4}, NP{17, 4}, NP{100, 8}, NP{100, 7},
+                      NP{256, 16}, NP{1000, 32}, NP{1000, 999}, NP{5, 100},
+                      NP{1024, 2}));
+
+TEST(Partition, AllWorkloadKinds) {
+  for (auto kind : {wl::Kind::toeplitz, wl::Kind::poisson1d, wl::Kind::adi_sweep,
+                    wl::Kind::spline}) {
+    auto s = make_system(kind, 333, 5);
+    std::vector<double> x(333);
+    ASSERT_TRUE(
+        td::partition_solve(s.ref(), td::StridedView<double>(x.data(), 333, 1), 16)
+            .ok())
+        << wl::kind_name(kind);
+    EXPECT_LT(td::relative_residual(td::as_const(s.ref()),
+                                    td::StridedView<const double>(x.data(), 333, 1)),
+              1e-12)
+        << wl::kind_name(kind);
+  }
+}
+
+TEST(Partition, PacketSizeLargerThanSystemDegeneratesGracefully) {
+  auto s = make_system(wl::Kind::random_dominant, 10, 7);
+  const auto ref = referee(s);
+  std::vector<double> x(10);
+  ASSERT_TRUE(
+      td::partition_solve(s.ref(), td::StridedView<double>(x.data(), 10, 1), 64)
+          .ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(std::span<const double>(x),
+                                          std::span<const double>(ref)),
+            1e-11);
+}
+
+TEST(Partition, RejectsTinyPackets) {
+  auto s = make_system(wl::Kind::random_dominant, 16, 9);
+  std::vector<double> x(16);
+  EXPECT_EQ(
+      td::partition_solve(s.ref(), td::StridedView<double>(x.data(), 16, 1), 1)
+          .code,
+      td::SolveCode::bad_size);
+}
+
+TEST(Partition, SingularMatrixReported) {
+  td::TridiagSystem<double> s(8);  // zero matrix
+  std::vector<double> x(8);
+  EXPECT_EQ(
+      td::partition_solve(s.ref(), td::StridedView<double>(x.data(), 8, 1), 4)
+          .code,
+      td::SolveCode::zero_pivot);
+}
+
+TEST(Partition, NonDestructive) {
+  auto s = make_system(wl::Kind::random_dominant, 64, 11);
+  const auto before = s.clone();
+  std::vector<double> x(64);
+  ASSERT_TRUE(
+      td::partition_solve(s.ref(), td::StridedView<double>(x.data(), 64, 1), 8)
+          .ok());
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(s.b()[i], before.b()[i]);
+    EXPECT_EQ(s.d()[i], before.d()[i]);
+  }
+}
+
+TEST(Partition, FloatPrecision) {
+  Xoshiro256 rng(13);
+  td::TridiagSystem<float> s(200);
+  wl::fill_matrix(wl::Kind::toeplitz, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  std::vector<float> x(200);
+  ASSERT_TRUE(
+      td::partition_solve(s.ref(), td::StridedView<float>(x.data(), 200, 1), 16)
+          .ok());
+  EXPECT_LT(td::relative_residual(td::as_const(s.ref()),
+                                  td::StridedView<const float>(x.data(), 200, 1)),
+            1e-5);
+}

@@ -1,0 +1,176 @@
+// PCR tests: reduction invariants (interleaved decoupling), full solve
+// accuracy, halo/redundancy formulas, and hybrid PCR+Thomas equivalence.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/pcr.hpp"
+#include "tridiag/residual.hpp"
+#include "tridiag/thomas.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/stats.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::AlignedBuffer;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> random_system(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+/// Solve a system by reference LU and return x.
+std::vector<double> reference_solution(const td::TridiagSystem<double>& s) {
+  auto copy = s.clone();
+  std::vector<double> x(s.size());
+  auto st = td::lu_gtsv(copy.ref(), td::StridedView<double>(x.data(), x.size(), 1));
+  EXPECT_TRUE(st.ok());
+  return x;
+}
+
+}  // namespace
+
+TEST(Pcr, HaloAndRedundancyFormulas) {
+  // f(k) = 2^k - 1 (Eq. 8); g(k) = k 2^k - 2^{k+1} + 2 (Eq. 9).
+  EXPECT_EQ(td::pcr_halo(0), 0u);
+  EXPECT_EQ(td::pcr_halo(1), 1u);
+  EXPECT_EQ(td::pcr_halo(2), 3u);
+  EXPECT_EQ(td::pcr_halo(8), 255u);
+  EXPECT_EQ(td::pcr_redundant_elims(0), 0u);
+  EXPECT_EQ(td::pcr_redundant_elims(1), 0u);   // 1*2 - 4 + 2
+  EXPECT_EQ(td::pcr_redundant_elims(2), 2u);   // 2*4 - 8 + 2
+  EXPECT_EQ(td::pcr_redundant_elims(3), 10u);  // 3*8 - 16 + 2
+  EXPECT_EQ(td::pcr_redundant_elims(4), 34u);
+}
+
+TEST(Pcr, OneStepDecouplesEvenOdd) {
+  auto s = random_system(64, 11);
+  td::pcr_reduce(s.ref(), 1);
+  // After one step every row couples only at stride 2: verify by checking
+  // the reduced system solves correctly when treated as two independent
+  // interleaved systems.
+  auto sys = s.ref();
+  for (int parity = 0; parity < 2; ++parity) {
+    const std::size_t count = (64 - parity + 1) / 2;
+    td::SystemRef<double> view{sys.a.subview(parity, count),
+                               sys.b.subview(parity, count),
+                               sys.c.subview(parity, count),
+                               sys.d.subview(parity, count)};
+    // stride is still 1 in subview; we need stride 2:
+    td::SystemRef<double> half{
+        td::StridedView<double>(sys.a.ptr(parity), count, 2),
+        td::StridedView<double>(sys.b.ptr(parity), count, 2),
+        td::StridedView<double>(sys.c.ptr(parity), count, 2),
+        td::StridedView<double>(sys.d.ptr(parity), count, 2)};
+    AlignedBuffer<double> x(count);
+    EXPECT_TRUE(td::thomas_solve(half, td::StridedView<double>(x.span())).ok());
+    (void)view;
+  }
+}
+
+TEST(Pcr, ReduceThenThomasMatchesReference) {
+  for (unsigned k : {1u, 2u, 3u, 5u}) {
+    auto s = random_system(200, 31 + k);
+    const auto x_ref = reference_solution(s);
+
+    td::pcr_reduce(s.ref(), k);
+    const std::size_t stride = std::size_t{1} << k;
+    std::vector<double> x(200);
+    auto sys = s.ref();
+    for (std::size_t r = 0; r < stride && r < 200; ++r) {
+      const std::size_t count = (200 - r + stride - 1) / stride;
+      td::SystemRef<double> sub{
+          td::StridedView<double>(sys.a.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+          td::StridedView<double>(sys.b.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+          td::StridedView<double>(sys.c.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+          td::StridedView<double>(sys.d.ptr(r), count, static_cast<std::ptrdiff_t>(stride))};
+      td::StridedView<double> xr(x.data() + r, count, static_cast<std::ptrdiff_t>(stride));
+      ASSERT_TRUE(td::thomas_solve(sub, xr).ok());
+    }
+    EXPECT_LT(tridsolve::util::max_abs_diff(
+                  std::span<const double>(x), std::span<const double>(x_ref)),
+              1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(Pcr, FullSolveMatchesReference) {
+  for (std::size_t n : {1u, 2u, 3u, 8u, 100u, 255u, 256u, 257u}) {
+    auto s = random_system(n, n * 7 + 1);
+    const auto x_ref = reference_solution(s);
+    AlignedBuffer<double> x(n);
+    ASSERT_TRUE(td::pcr_solve(s.ref(), td::StridedView<double>(x.span())).ok())
+        << "n=" << n;
+    EXPECT_LT(tridsolve::util::max_abs_diff(x.span(), std::span<const double>(x_ref)),
+              1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Pcr, EliminationCountIsKTimesN) {
+  auto s = random_system(128, 3);
+  EXPECT_EQ(td::pcr_reduce(s.ref(), 3), 3u * 128u);
+}
+
+TEST(Pcr, IdentityRowsAreFixedPoint) {
+  // A pure identity system must stay identity through any number of steps.
+  td::TridiagSystem<double> s(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    s.b()[i] = 1.0;
+  }
+  td::pcr_reduce(s.ref(), 4);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(s.a()[i], 0.0);
+    EXPECT_DOUBLE_EQ(s.b()[i], 1.0);
+    EXPECT_DOUBLE_EQ(s.c()[i], 0.0);
+    EXPECT_DOUBLE_EQ(s.d()[i], 0.0);
+  }
+}
+
+TEST(Pcr, CombineMatchesHandComputedStep) {
+  // One CR/PCR elimination on rows with known values (paper Eqs. 5-6).
+  td::Row<double> lo{0.0, 2.0, 1.0, 4.0};   // row i-1
+  td::Row<double> mid{1.0, 3.0, 1.0, 6.0};  // row i
+  td::Row<double> hi{1.0, 2.0, 0.0, 5.0};   // row i+1
+  const auto out = td::pcr_combine(lo, mid, hi);
+  const double k1 = 1.0 / 2.0, k2 = 1.0 / 2.0;
+  EXPECT_DOUBLE_EQ(out.a, -0.0 * k1);
+  EXPECT_DOUBLE_EQ(out.b, 3.0 - 1.0 * k1 - 1.0 * k2);
+  EXPECT_DOUBLE_EQ(out.c, -0.0 * k2);
+  EXPECT_DOUBLE_EQ(out.d, 6.0 - 4.0 * k1 - 5.0 * k2);
+}
+
+TEST(Pcr, FloatSolveAccuracy) {
+  Xoshiro256 rng(8);
+  td::TridiagSystem<float> s(128);
+  wl::fill_matrix(wl::Kind::toeplitz, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  auto copy = s.clone();
+  AlignedBuffer<float> x(128);
+  ASSERT_TRUE(td::pcr_solve(s.ref(), td::StridedView<float>(x.span())).ok());
+  EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                  td::StridedView<const float>(x.data(), 128, 1)),
+            1e-5);
+}
+
+TEST(Pcr, NonPowerOfTwoSizes) {
+  for (std::size_t n : {5u, 17u, 100u, 1000u, 1023u, 1025u}) {
+    auto s = random_system(n, n);
+    auto copy = s.clone();
+    AlignedBuffer<double> x(n);
+    ASSERT_TRUE(td::pcr_solve(s.ref(), td::StridedView<double>(x.span())).ok());
+    EXPECT_LT(td::relative_residual(td::as_const(copy.ref()),
+                                    td::StridedView<const double>(x.data(), n, 1)),
+              1e-12)
+        << "n=" << n;
+  }
+}

@@ -1,0 +1,140 @@
+// PcrPlan (factor-once hybrid pipeline) tests: bitwise agreement with the
+// direct pcr_reduce + per-class Thomas pipeline, repeated-rhs usage, and
+// edge cases.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/pcr.hpp"
+#include "tridiag/pcr_plan.hpp"
+#include "tridiag/residual.hpp"
+#include "tridiag/thomas.hpp"
+#include "util/random.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> make_system(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+/// Reference: destructive reduce + per-class Thomas.
+std::vector<double> direct_pipeline(const td::TridiagSystem<double>& s, unsigned k) {
+  auto copy = s.clone();
+  td::pcr_reduce(copy.ref(), k);
+  const std::size_t n = s.size();
+  const std::size_t stride = std::size_t{1} << k;
+  std::vector<double> x(n);
+  auto sys = copy.ref();
+  for (std::size_t r = 0; r < stride && r < n; ++r) {
+    const std::size_t count = (n - r + stride - 1) / stride;
+    td::SystemRef<double> cls{
+        td::StridedView<double>(sys.a.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+        td::StridedView<double>(sys.b.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+        td::StridedView<double>(sys.c.ptr(r), count, static_cast<std::ptrdiff_t>(stride)),
+        td::StridedView<double>(sys.d.ptr(r), count, static_cast<std::ptrdiff_t>(stride))};
+    EXPECT_TRUE(td::thomas_solve(
+                    cls, td::StridedView<double>(x.data() + r, count,
+                                                 static_cast<std::ptrdiff_t>(stride)))
+                    .ok());
+  }
+  return x;
+}
+
+}  // namespace
+
+class PcrPlanParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(PcrPlanParam, BitwiseMatchesDirectPipeline) {
+  const auto [n, k] = GetParam();
+  auto s = make_system(n, 11 * n + k);
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), k);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.steps(), k);
+
+  std::vector<double> x(n);
+  ASSERT_TRUE(plan.solve(td::as_const(s.ref()).d,
+                         td::StridedView<double>(x.data(), n, 1))
+                  .ok());
+  const auto ref = direct_pipeline(s, k);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], ref[i]) << i;
+}
+
+using PlanShape = std::tuple<std::size_t, unsigned>;
+INSTANTIATE_TEST_SUITE_P(Shapes, PcrPlanParam,
+                         ::testing::Values(PlanShape{16, 1}, PlanShape{17, 2},
+                                           PlanShape{100, 3}, PlanShape{256, 4},
+                                           PlanShape{1000, 5}, PlanShape{64, 6},
+                                           PlanShape{500, 0}));
+
+TEST(PcrPlan, RepeatedRhsAllAccurate) {
+  auto s = make_system(300, 7);
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), 4);
+  ASSERT_TRUE(plan.ok());
+  Xoshiro256 rng(8);
+  std::vector<double> d(300), x(300);
+  for (int rhs = 0; rhs < 20; ++rhs) {
+    tridsolve::util::fill_uniform(rng, std::span<double>(d), -2.0, 2.0);
+    ASSERT_TRUE(plan.solve(td::StridedView<const double>(d.data(), 300, 1),
+                           td::StridedView<double>(x.data(), 300, 1))
+                    .ok());
+    for (std::size_t i = 0; i < 300; ++i) s.d()[i] = d[i];
+    EXPECT_LT(td::residual_inf(td::as_const(s.ref()),
+                               td::StridedView<const double>(x.data(), 300, 1)),
+              1e-11)
+        << "rhs " << rhs;
+  }
+}
+
+TEST(PcrPlan, XMayAliasD) {
+  auto s = make_system(128, 9);
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), 3);
+  std::vector<double> expected(128);
+  ASSERT_TRUE(plan.solve(td::as_const(s.ref()).d,
+                         td::StridedView<double>(expected.data(), 128, 1))
+                  .ok());
+  auto aliased = s.ref().d;
+  ASSERT_TRUE(plan.solve(td::as_const(s.ref()).d, aliased).ok());
+  for (std::size_t i = 0; i < 128; ++i) EXPECT_EQ(aliased[i], expected[i]);
+}
+
+TEST(PcrPlan, KZeroIsJustThomasPlan) {
+  auto s = make_system(64, 10);
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), 0);
+  const td::ThomasPlan<double> tplan(td::as_const(s.ref()));
+  std::vector<double> xp(64), xt(64);
+  ASSERT_TRUE(plan.solve(td::as_const(s.ref()).d,
+                         td::StridedView<double>(xp.data(), 64, 1))
+                  .ok());
+  ASSERT_TRUE(tplan.solve(td::as_const(s.ref()).d,
+                          td::StridedView<double>(xt.data(), 64, 1))
+                  .ok());
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(xp[i], xt[i]);
+}
+
+TEST(PcrPlan, BadSizesRejected) {
+  auto s = make_system(32, 11);
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), 2);
+  std::vector<double> x(31);
+  EXPECT_EQ(plan.solve(td::as_const(s.ref()).d,
+                       td::StridedView<double>(x.data(), 31, 1))
+                .code,
+            td::SolveCode::bad_size);
+}
+
+TEST(PcrPlan, ZeroPivotSurfacesFromClassFactorization) {
+  td::TridiagSystem<double> s(8);  // all-zero matrix -> singular classes
+  const td::PcrPlan<double> plan(td::as_const(s.ref()), 1);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code, td::SolveCode::zero_pivot);
+}

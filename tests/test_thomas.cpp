@@ -1,0 +1,162 @@
+// Thomas algorithm tests: exact small cases, residual-level accuracy on
+// every workload class, strided operation, and failure reporting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/residual.hpp"
+#include "tridiag/thomas.hpp"
+#include "tridiag/layout.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/stats.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::AlignedBuffer;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> small_system() {
+  // [2 1 0; 1 3 1; 0 1 2] x = [3; 6; 5] -> x = (1, 1, 2)
+  td::TridiagSystem<double> s(3);
+  s.a()[0] = 0; s.a()[1] = 1; s.a()[2] = 1;
+  s.b()[0] = 2; s.b()[1] = 3; s.b()[2] = 2;
+  s.c()[0] = 1; s.c()[1] = 1; s.c()[2] = 0;
+  s.d()[0] = 3; s.d()[1] = 6; s.d()[2] = 5;
+  return s;
+}
+
+}  // namespace
+
+TEST(Thomas, SolvesKnownThreeByThree) {
+  auto s = small_system();
+  AlignedBuffer<double> x(3);
+  const auto st = td::thomas_solve(s.ref(), td::StridedView<double>(x.span()));
+  ASSERT_TRUE(st.ok());
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+  EXPECT_NEAR(x[2], 2.0, 1e-14);
+}
+
+TEST(Thomas, SizeOneAndTwo) {
+  td::TridiagSystem<double> s1(1);
+  s1.b()[0] = 4;
+  s1.d()[0] = 2;
+  AlignedBuffer<double> x1(1);
+  ASSERT_TRUE(td::thomas_solve(s1.ref(), td::StridedView<double>(x1.span())).ok());
+  EXPECT_DOUBLE_EQ(x1[0], 0.5);
+
+  td::TridiagSystem<double> s2(2);
+  s2.a()[1] = 1;
+  s2.b()[0] = 2; s2.b()[1] = 2;
+  s2.c()[0] = 1;
+  s2.d()[0] = 4; s2.d()[1] = 5;  // x = (1, 2)
+  AlignedBuffer<double> x2(2);
+  ASSERT_TRUE(td::thomas_solve(s2.ref(), td::StridedView<double>(x2.span())).ok());
+  EXPECT_NEAR(x2[0], 1.0, 1e-14);
+  EXPECT_NEAR(x2[1], 2.0, 1e-14);
+}
+
+TEST(Thomas, RecoversManufacturedSolution) {
+  Xoshiro256 rng(99);
+  td::TridiagSystem<double> s(257);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  AlignedBuffer<double> x_true(257);
+  tridsolve::util::fill_uniform(rng, x_true.span(), -5.0, 5.0);
+  wl::fill_rhs_for_solution(s.ref(),
+                            td::StridedView<const double>(x_true.data(), 257, 1));
+  AlignedBuffer<double> x(257);
+  ASSERT_TRUE(td::thomas_solve(s.ref(), td::StridedView<double>(x.span())).ok());
+  EXPECT_LT(tridsolve::util::max_abs_diff(x.span(), x_true.span()), 1e-10);
+}
+
+TEST(Thomas, ResidualSmallOnAllWorkloadKinds) {
+  for (auto kind : {wl::Kind::random_dominant, wl::Kind::toeplitz,
+                    wl::Kind::poisson1d, wl::Kind::adi_sweep, wl::Kind::spline}) {
+    Xoshiro256 rng(7);
+    td::TridiagSystem<double> s(513);
+    wl::fill_matrix(kind, s.ref(), rng);
+    wl::fill_rhs_random(s.ref(), rng);
+    AlignedBuffer<double> x(513);
+    ASSERT_TRUE(td::thomas_solve(s.ref(), td::StridedView<double>(x.span())).ok())
+        << wl::kind_name(kind);
+    EXPECT_LT(td::relative_residual(td::as_const(s.ref()),
+                                    td::StridedView<const double>(x.data(), 513, 1)),
+              1e-13)
+        << wl::kind_name(kind);
+  }
+}
+
+TEST(Thomas, WorksOnStridedViews) {
+  // Solve the same system twice: once contiguous, once embedded at stride 3.
+  auto s = small_system();
+  AlignedBuffer<double> x_ref(3);
+  ASSERT_TRUE(td::thomas_solve(s.ref(), td::StridedView<double>(x_ref.span())).ok());
+
+  AlignedBuffer<double> wide(9 * 4);
+  td::SystemRef<double> strided{
+      td::StridedView<double>(wide.data() + 0, 3, 3),
+      td::StridedView<double>(wide.data() + 9, 3, 3),
+      td::StridedView<double>(wide.data() + 18, 3, 3),
+      td::StridedView<double>(wide.data() + 27, 3, 3)};
+  auto src = small_system();
+  for (std::size_t i = 0; i < 3; ++i) {
+    strided.a[i] = src.a()[i];
+    strided.b[i] = src.b()[i];
+    strided.c[i] = src.c()[i];
+    strided.d[i] = src.d()[i];
+  }
+  AlignedBuffer<double> xs(9);
+  td::StridedView<double> x_str(xs.data(), 3, 3);
+  ASSERT_TRUE(td::thomas_solve(strided, x_str).ok());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x_str[i], x_ref[i]);
+}
+
+TEST(Thomas, SolutionMayAliasRhs) {
+  auto s = small_system();
+  auto sys = s.ref();
+  ASSERT_TRUE(td::thomas_solve(sys, sys.d).ok());
+  EXPECT_NEAR(sys.d[0], 1.0, 1e-14);
+  EXPECT_NEAR(sys.d[1], 1.0, 1e-14);
+  EXPECT_NEAR(sys.d[2], 2.0, 1e-14);
+}
+
+TEST(Thomas, ReportsZeroPivot) {
+  td::TridiagSystem<double> s(2);
+  s.b()[0] = 0.0;  // immediate zero pivot
+  s.c()[0] = 1.0;
+  s.a()[1] = 1.0;
+  s.b()[1] = 1.0;
+  AlignedBuffer<double> x(2);
+  const auto st = td::thomas_solve(s.ref(), td::StridedView<double>(x.span()));
+  EXPECT_EQ(st.code, td::SolveCode::zero_pivot);
+  EXPECT_EQ(st.index, 0u);
+}
+
+TEST(Thomas, ReportsBadSize) {
+  auto s = small_system();
+  AlignedBuffer<double> x(2);  // wrong length
+  const auto st = td::thomas_solve(s.ref(), td::StridedView<double>(x.span()));
+  EXPECT_EQ(st.code, td::SolveCode::bad_size);
+}
+
+TEST(Thomas, EliminationStepFormula) {
+  EXPECT_EQ(td::thomas_elimination_steps(0), 0u);
+  EXPECT_EQ(td::thomas_elimination_steps(1), 1u);
+  EXPECT_EQ(td::thomas_elimination_steps(512), 1023u);
+}
+
+TEST(Thomas, FloatPrecisionResidual) {
+  Xoshiro256 rng(3);
+  td::TridiagSystem<float> s(129);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  AlignedBuffer<float> x(129);
+  ASSERT_TRUE(td::thomas_solve(s.ref(), td::StridedView<float>(x.span())).ok());
+  EXPECT_LT(td::relative_residual(td::as_const(s.ref()),
+                                  td::StridedView<const float>(x.data(), 129, 1)),
+            1e-5);
+}

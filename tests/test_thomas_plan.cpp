@@ -1,0 +1,127 @@
+// ThomasPlan (factor-once / solve-many) tests.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/residual.hpp"
+#include "tridiag/thomas.hpp"
+#include "tridiag/thomas_plan.hpp"
+#include "util/random.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> make_system(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+}  // namespace
+
+TEST(ThomasPlan, MatchesDirectSolveBitwise) {
+  auto sys = make_system(300, 1);
+  const td::ThomasPlan<double> plan(td::as_const(sys.ref()));
+  ASSERT_TRUE(plan.ok());
+
+  std::vector<double> x_plan(300), x_direct(300);
+  ASSERT_TRUE(plan.solve(td::as_const(sys.ref()).d,
+                         td::StridedView<double>(x_plan.data(), 300, 1))
+                  .ok());
+  auto copy = sys.clone();
+  ASSERT_TRUE(
+      td::thomas_solve(copy.ref(), td::StridedView<double>(x_direct.data(), 300, 1))
+          .ok());
+  // Same arithmetic, same order: bitwise identical.
+  for (std::size_t i = 0; i < 300; ++i) EXPECT_EQ(x_plan[i], x_direct[i]) << i;
+}
+
+TEST(ThomasPlan, ManyRhsAgainstOneFactorization) {
+  auto sys = make_system(128, 2);
+  const td::ThomasPlan<double> plan(td::as_const(sys.ref()));
+  ASSERT_TRUE(plan.ok());
+
+  Xoshiro256 rng(3);
+  const std::size_t num_rhs = 10;
+  std::vector<double> d(num_rhs * 128), x(num_rhs * 128);
+  tridsolve::util::fill_uniform(rng, std::span<double>(d), -1.0, 1.0);
+  ASSERT_TRUE(plan.solve_many(d, x, num_rhs).ok());
+
+  for (std::size_t r = 0; r < num_rhs; ++r) {
+    for (std::size_t i = 0; i < 128; ++i) {
+      sys.d()[i] = d[r * 128 + i];
+    }
+    const double res = td::residual_inf(
+        td::as_const(sys.ref()),
+        td::StridedView<const double>(x.data() + r * 128, 128, 1));
+    EXPECT_LT(res, 1e-11) << "rhs " << r;
+  }
+}
+
+TEST(ThomasPlan, SolveMayAliasRhs) {
+  auto sys = make_system(64, 4);
+  const td::ThomasPlan<double> plan(td::as_const(sys.ref()));
+  std::vector<double> expected(64);
+  ASSERT_TRUE(plan.solve(td::as_const(sys.ref()).d,
+                         td::StridedView<double>(expected.data(), 64, 1))
+                  .ok());
+  auto aliased = sys.ref().d;
+  ASSERT_TRUE(plan.solve(td::as_const(sys.ref()).d, aliased).ok());
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(aliased[i], expected[i]);
+}
+
+TEST(ThomasPlan, ReportsZeroPivotAtFactorTime) {
+  td::TridiagSystem<double> sys(3);
+  sys.b()[0] = 0.0;
+  const td::ThomasPlan<double> plan(td::as_const(sys.ref()));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code, td::SolveCode::zero_pivot);
+  std::vector<double> x(3);
+  EXPECT_EQ(plan.solve(td::as_const(sys.ref()).d,
+                       td::StridedView<double>(x.data(), 3, 1))
+                .code,
+            td::SolveCode::zero_pivot);
+}
+
+TEST(ThomasPlan, RejectsWrongSizes) {
+  auto sys = make_system(8, 5);
+  const td::ThomasPlan<double> plan(td::as_const(sys.ref()));
+  std::vector<double> x(7);
+  EXPECT_EQ(plan.solve(td::as_const(sys.ref()).d,
+                       td::StridedView<double>(x.data(), 7, 1))
+                .code,
+            td::SolveCode::bad_size);
+  std::vector<double> d(8 * 2), xx(8);
+  EXPECT_EQ(plan.solve_many(d, xx, 2).code, td::SolveCode::bad_size);
+}
+
+TEST(ThomasPlan, RefactorReusesStorage) {
+  auto s1 = make_system(50, 6);
+  auto s2 = make_system(50, 7);
+  td::ThomasPlan<double> plan(td::as_const(s1.ref()));
+  plan.factor(td::as_const(s2.ref()));
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> x(50);
+  ASSERT_TRUE(plan.solve(td::as_const(s2.ref()).d,
+                         td::StridedView<double>(x.data(), 50, 1))
+                  .ok());
+  EXPECT_LT(td::residual_inf(td::as_const(s2.ref()),
+                             td::StridedView<const double>(x.data(), 50, 1)),
+            1e-11);
+}
+
+TEST(ThomasPlan, EmptyPlanIsHarmless) {
+  td::ThomasPlan<double> plan;
+  EXPECT_EQ(plan.size(), 0u);
+  EXPECT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.solve(td::StridedView<const double>(nullptr, 0, 1),
+                         td::StridedView<double>(nullptr, 0, 1))
+                  .ok());
+}

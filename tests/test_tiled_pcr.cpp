@@ -1,0 +1,159 @@
+// Tiled PCR tests — the paper's central §III.A claims, measured:
+//  * dependency-cached streaming is bit-exact vs plain PCR,
+//  * zero redundant loads/eliminations with the sliding window,
+//  * naive halo tiling pays exactly f(k) loads and g(k) eliminations
+//    per boundary (Eqs. 8-9),
+//  * cache footprint stays within the paper's bound.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tridiag/pcr.hpp"
+#include "tridiag/tiled_pcr.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::Xoshiro256;
+
+namespace {
+
+td::TridiagSystem<double> random_system(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  td::TridiagSystem<double> s(n);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  wl::fill_rhs_random(s.ref(), rng);
+  return s;
+}
+
+void expect_bitwise_equal(const td::TridiagSystem<double>& x,
+                          const td::TridiagSystem<double>& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x.a()[i], y.a()[i]) << i;
+    EXPECT_EQ(x.b()[i], y.b()[i]) << i;
+    EXPECT_EQ(x.c()[i], y.c()[i]) << i;
+    EXPECT_EQ(x.d()[i], y.d()[i]) << i;
+  }
+}
+
+}  // namespace
+
+class TiledPcrParam : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned>> {};
+
+TEST_P(TiledPcrParam, BitExactVersusPlainPcr) {
+  const auto [n, k] = GetParam();
+  auto tiled = random_system(n, 1000 + n + k);
+  auto plain = tiled.clone();
+  td::tiled_pcr_reduce(tiled.ref(), k);
+  td::pcr_reduce(plain.ref(), k);
+  expect_bitwise_equal(tiled, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSteps, TiledPcrParam,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 7, 8, 16, 17, 63,
+                                                      64, 100, 255, 1024, 1000),
+                       ::testing::Values<unsigned>(1, 2, 3, 4, 6, 8)));
+
+TEST(TiledPcr, ZeroRedundancyCounters) {
+  const std::size_t n = 4096;
+  for (unsigned k : {1u, 3u, 6u, 8u}) {
+    auto s = random_system(n, k);
+    const auto c = td::tiled_pcr_reduce(s.ref(), k);
+    EXPECT_EQ(c.global_row_loads, n) << "k=" << k;
+    EXPECT_EQ(c.eliminations, k * n) << "k=" << k;
+    EXPECT_EQ(c.redundant_loads(n), 0u);
+    EXPECT_EQ(c.redundant_elims(n, k), 0u);
+  }
+}
+
+TEST(TiledPcr, CacheFootprintIsTwoFkPlusK) {
+  // Live intermediate state: sum_j (2^{j+1} + 1) = 2*f(k) + k rows — the
+  // paper's 2*f(k) minimum plus one in-flight row per level, well under
+  // the 3*f(k) the buffered sliding window reserves.
+  const std::size_t n = 2048;
+  for (unsigned k : {1u, 2u, 4u, 8u}) {
+    auto s = random_system(n, 77 + k);
+    const auto c = td::tiled_pcr_reduce(s.ref(), k);
+    EXPECT_EQ(c.cache_rows_peak, 2 * td::pcr_halo(k) + k) << "k=" << k;
+    EXPECT_LE(c.cache_rows_peak, 3 * td::pcr_halo(k) + k) << "k=" << k;
+  }
+}
+
+TEST(NaiveTiledPcr, MatchesPlainPcrValues) {
+  for (std::size_t tile : {8u, 32u, 100u}) {
+    for (unsigned k : {1u, 2u, 4u}) {
+      auto naive = random_system(512, tile * 10 + k);
+      auto plain = naive.clone();
+      td::naive_tiled_pcr_reduce(naive.ref(), k, tile);
+      td::pcr_reduce(plain.ref(), k);
+      ASSERT_EQ(naive.size(), plain.size());
+      for (std::size_t i = 0; i < naive.size(); ++i) {
+        EXPECT_NEAR(naive.b()[i], plain.b()[i], 1e-12) << "i=" << i;
+        EXPECT_NEAR(naive.d()[i], plain.d()[i], 1e-12) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(NaiveTiledPcr, RedundantLoadsMatchEq8) {
+  // Interior tile boundaries each cost f(k) redundant loads per side.
+  const std::size_t n = 1024;
+  const std::size_t tile = 64;
+  const std::size_t num_tiles = n / tile;
+  for (unsigned k : {1u, 2u, 3u, 4u, 5u}) {
+    auto s = random_system(n, k);
+    const auto c = td::naive_tiled_pcr_reduce(s.ref(), k, tile);
+    // Each of the (num_tiles - 1) interior boundaries is loaded redundantly
+    // from both sides: 2 * f(k) extra rows per boundary.
+    const std::size_t expected = 2 * td::pcr_halo(k) * (num_tiles - 1);
+    EXPECT_EQ(c.redundant_loads(n), expected) << "k=" << k;
+  }
+}
+
+TEST(NaiveTiledPcr, RedundantElimsMatchEq9) {
+  const std::size_t n = 1024;
+  const std::size_t tile = 128;
+  const std::size_t num_tiles = n / tile;
+  for (unsigned k : {1u, 2u, 3u, 4u, 5u}) {
+    auto s = random_system(n, 10 + k);
+    const auto c = td::naive_tiled_pcr_reduce(s.ref(), k, tile);
+    const std::size_t expected = 2 * td::pcr_redundant_elims(k) * (num_tiles - 1);
+    EXPECT_EQ(c.redundant_elims(n, k), expected) << "k=" << k;
+  }
+}
+
+TEST(NaiveTiledPcr, RedundancyGrowsExponentiallyInK) {
+  // The motivation for dependency caching: halo cost doubles per step.
+  const std::size_t n = 8192, tile = 512;
+  std::size_t prev = 0;
+  for (unsigned k = 1; k <= 6; ++k) {
+    auto s = random_system(n, 90 + k);
+    const auto c = td::naive_tiled_pcr_reduce(s.ref(), k, tile);
+    const std::size_t redundant = c.redundant_loads(n);
+    if (k > 1) {
+      EXPECT_GT(redundant, prev * 3 / 2) << "k=" << k;
+    }
+    prev = redundant;
+  }
+}
+
+TEST(TiledPcr, KZeroIsNoOp) {
+  auto s = random_system(64, 5);
+  auto orig = s.clone();
+  const auto c = td::tiled_pcr_reduce(s.ref(), 0);
+  EXPECT_EQ(c.eliminations, 0u);
+  expect_bitwise_equal(s, orig);
+}
+
+TEST(TiledPcr, TileNotDividingN) {
+  auto naive = random_system(1000, 6);
+  auto plain = naive.clone();
+  td::naive_tiled_pcr_reduce(naive.ref(), 3, 37);  // 37 does not divide 1000
+  td::pcr_reduce(plain.ref(), 3);
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(naive.d()[i], plain.d()[i], 1e-12) << i;
+  }
+}

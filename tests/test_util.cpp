@@ -1,0 +1,169 @@
+// Unit tests for the util library: aligned buffers, RNG, stats, tables, CLI.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.hpp"
+#include "util/cli.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace util = tridsolve::util;
+
+TEST(AlignedBuffer, ProvidesAlignedStorage) {
+  util::AlignedBuffer<double> buf(1000);
+  EXPECT_TRUE(util::is_aligned(buf.data(), util::kDefaultAlignment));
+  EXPECT_EQ(buf.size(), 1000u);
+}
+
+TEST(AlignedBuffer, FillsWithRequestedValue) {
+  util::AlignedBuffer<float> buf(17, 3.5f);
+  for (float v : buf) EXPECT_EQ(v, 3.5f);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  util::AlignedBuffer<double> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.span().size(), 0u);
+}
+
+TEST(AlignedBuffer, SpanViewsSameMemory) {
+  util::AlignedBuffer<int> buf(8);
+  buf.span()[3] = 42;
+  EXPECT_EQ(buf[3], 42);
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  util::Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  util::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Xoshiro, UniformInRange) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = util::uniform(rng, -2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntCoversEndpoints) {
+  util::Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = util::uniform_int(rng, 0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, LongJumpProducesIndependentStream) {
+  util::Xoshiro256 a(5);
+  util::Xoshiro256 b(5);
+  b.long_jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto s = util::summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388, 1e-6);
+}
+
+TEST(Stats, MedianOfEvenCount) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(util::summarize(v).median, 2.5);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const auto s = util::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, MaxAbsAndRelDiff) {
+  const std::vector<double> a{1.0, 2.0, 10.0};
+  const std::vector<double> b{1.0, 2.5, 8.0};
+  EXPECT_DOUBLE_EQ(util::max_abs_diff(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(util::max_rel_diff(a, b), 2.0 / 8.0);
+}
+
+TEST(Stats, GeomeanOfPowers) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(util::geomean(v), 4.0, 1e-12);
+}
+
+TEST(Table, AsciiHasHeaderRuleAndAlignment) {
+  util::Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", util::Table::num(1.5, 2)});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  EXPECT_EQ(util::csv_escape("plain"), "plain");
+  EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Table, CsvRoundTripRows) {
+  util::Table t;
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--m=128", "--n", "512", "--verbose"};
+  util::Cli cli(5, argv, {"m", "n", "verbose"});
+  EXPECT_EQ(cli.get_int("m", 0), 128);
+  EXPECT_EQ(cli.get_int("n", 0), 512);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  util::Cli cli(1, argv, {"m"});
+  EXPECT_EQ(cli.get_int("m", 7), 7);
+  EXPECT_EQ(cli.get_string("m", "dft"), "dft");
+  EXPECT_DOUBLE_EQ(cli.get_double("m", 2.5), 2.5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(util::Cli(2, argv, {"m"}), std::invalid_argument);
+}
+
+TEST(Cli, CollectsPositionals) {
+  const char* argv[] = {"prog", "file1", "--m=1", "file2"};
+  util::Cli cli(4, argv, {"m"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "file1");
+  EXPECT_EQ(cli.positional()[1], "file2");
+}

@@ -1,0 +1,109 @@
+// Workload generator tests: structural invariants and determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tridiag/layout.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+using tridsolve::util::Xoshiro256;
+
+TEST(Workloads, BoundaryCoefficientsAreZero) {
+  for (auto kind : {wl::Kind::random_dominant, wl::Kind::toeplitz,
+                    wl::Kind::poisson1d, wl::Kind::adi_sweep, wl::Kind::spline,
+                    wl::Kind::needs_pivoting}) {
+    Xoshiro256 rng(1);
+    td::TridiagSystem<double> s(33);
+    wl::fill_matrix(kind, s.ref(), rng);
+    EXPECT_EQ(s.a()[0], 0.0) << wl::kind_name(kind);
+    EXPECT_EQ(s.c()[32], 0.0) << wl::kind_name(kind);
+  }
+}
+
+TEST(Workloads, RandomDominantIsStrictlyDominant) {
+  Xoshiro256 rng(5);
+  td::TridiagSystem<double> s(500);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_GT(std::abs(s.b()[i]),
+              std::abs(s.a()[i]) + std::abs(s.c()[i]) + 0.2)
+        << i;
+  }
+}
+
+TEST(Workloads, SplineRowsAreDominant) {
+  Xoshiro256 rng(6);
+  td::TridiagSystem<double> s(100);
+  wl::fill_matrix(wl::Kind::spline, s.ref(), rng);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GT(s.b()[i], std::abs(s.a()[i]) + std::abs(s.c()[i]));
+  }
+}
+
+TEST(Workloads, NeedsPivotingHasWeakDiagonals) {
+  Xoshiro256 rng(7);
+  td::TridiagSystem<double> s(64);
+  wl::fill_matrix(wl::Kind::needs_pivoting, s.ref(), rng);
+  bool any_weak = false;
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (std::abs(s.b()[i]) < 0.01) any_weak = true;
+  }
+  EXPECT_TRUE(any_weak);
+}
+
+TEST(Workloads, RhsForSolutionRoundTrips) {
+  Xoshiro256 rng(8);
+  td::TridiagSystem<double> s(50);
+  wl::fill_matrix(wl::Kind::random_dominant, s.ref(), rng);
+  std::vector<double> xt(50);
+  for (std::size_t i = 0; i < 50; ++i) xt[i] = static_cast<double>(i) - 25.0;
+  wl::fill_rhs_for_solution(s.ref(),
+                            td::StridedView<const double>(xt.data(), 50, 1));
+  // Row 0 and row n-1 must not reference out-of-range x.
+  EXPECT_DOUBLE_EQ(s.d()[0], s.b()[0] * xt[0] + s.c()[0] * xt[1]);
+  EXPECT_DOUBLE_EQ(s.d()[49], s.a()[49] * xt[48] + s.b()[49] * xt[49]);
+}
+
+TEST(Workloads, BatchDeterministicInSeed) {
+  const auto b1 = wl::make_batch<double>(wl::Kind::random_dominant, 4, 32,
+                                         td::Layout::contiguous, 99);
+  const auto b2 = wl::make_batch<double>(wl::Kind::random_dominant, 4, 32,
+                                         td::Layout::contiguous, 99);
+  for (std::size_t i = 0; i < b1.total_rows(); ++i) {
+    EXPECT_EQ(b1.b()[i], b2.b()[i]);
+    EXPECT_EQ(b1.d()[i], b2.d()[i]);
+  }
+}
+
+TEST(Workloads, BatchSeedIndependentOfLayout) {
+  // Same seed must produce the same logical systems in either layout.
+  const auto cont = wl::make_batch<double>(wl::Kind::random_dominant, 3, 16,
+                                           td::Layout::contiguous, 5);
+  const auto inter = wl::make_batch<double>(wl::Kind::random_dominant, 3, 16,
+                                            td::Layout::interleaved, 5);
+  for (std::size_t m = 0; m < 3; ++m) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(cont.b()[cont.index(m, i)], inter.b()[inter.index(m, i)]);
+      EXPECT_EQ(cont.d()[cont.index(m, i)], inter.d()[inter.index(m, i)]);
+    }
+  }
+}
+
+TEST(Workloads, DifferentSystemsInBatchDiffer) {
+  const auto b = wl::make_batch<double>(wl::Kind::random_dominant, 2, 16,
+                                        td::Layout::contiguous, 3);
+  bool differ = false;
+  for (std::size_t i = 0; i < 16 && !differ; ++i) {
+    differ = b.b()[b.index(0, i)] != b.b()[b.index(1, i)];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Workloads, KindNamesAreDistinct) {
+  EXPECT_STRNE(wl::kind_name(wl::Kind::toeplitz), wl::kind_name(wl::Kind::spline));
+  EXPECT_STRNE(wl::kind_name(wl::Kind::poisson1d),
+               wl::kind_name(wl::Kind::adi_sweep));
+}
