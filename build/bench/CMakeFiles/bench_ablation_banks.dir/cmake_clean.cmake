@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_banks.dir/bench_ablation_banks.cpp.o"
+  "CMakeFiles/bench_ablation_banks.dir/bench_ablation_banks.cpp.o.d"
+  "bench_ablation_banks"
+  "bench_ablation_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_adi_pipeline.cpp" "bench/CMakeFiles/bench_adi_pipeline.dir/bench_adi_pipeline.cpp.o" "gcc" "bench/CMakeFiles/bench_adi_pipeline.dir/bench_adi_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tridsolve_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tridsolve_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu_baselines/CMakeFiles/tridsolve_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/tridiag/CMakeFiles/tridsolve_tridiag.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/tridsolve_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tridsolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

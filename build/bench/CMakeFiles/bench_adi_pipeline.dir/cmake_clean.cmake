@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adi_pipeline.dir/bench_adi_pipeline.cpp.o"
+  "CMakeFiles/bench_adi_pipeline.dir/bench_adi_pipeline.cpp.o.d"
+  "bench_adi_pipeline"
+  "bench_adi_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adi_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

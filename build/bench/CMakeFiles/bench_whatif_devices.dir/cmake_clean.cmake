@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif_devices.dir/bench_whatif_devices.cpp.o"
+  "CMakeFiles/bench_whatif_devices.dir/bench_whatif_devices.cpp.o.d"
+  "bench_whatif_devices"
+  "bench_whatif_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

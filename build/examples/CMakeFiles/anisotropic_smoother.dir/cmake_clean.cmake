@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anisotropic_smoother.dir/anisotropic_smoother.cpp.o"
+  "CMakeFiles/anisotropic_smoother.dir/anisotropic_smoother.cpp.o.d"
+  "anisotropic_smoother"
+  "anisotropic_smoother.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anisotropic_smoother.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubic_spline.dir/cubic_spline.cpp.o"
+  "CMakeFiles/cubic_spline.dir/cubic_spline.cpp.o.d"
+  "cubic_spline"
+  "cubic_spline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubic_spline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat2d_adi.dir/heat2d_adi.cpp.o"
+  "CMakeFiles/heat2d_adi.dir/heat2d_adi.cpp.o.d"
+  "heat2d_adi"
+  "heat2d_adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat2d_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

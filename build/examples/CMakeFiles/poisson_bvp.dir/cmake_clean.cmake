@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_bvp.dir/poisson_bvp.cpp.o"
+  "CMakeFiles/poisson_bvp.dir/poisson_bvp.cpp.o.d"
+  "poisson_bvp"
+  "poisson_bvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_bvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

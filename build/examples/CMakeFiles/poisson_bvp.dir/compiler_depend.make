@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for poisson_bvp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n" "700")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat2d_adi "/root/repo/build/examples/heat2d_adi" "--nx" "48" "--ny" "32" "--steps" "2")
+set_tests_properties(example_heat2d_adi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cubic_spline "/root/repo/build/examples/cubic_spline" "--curves" "64" "--knots" "65")
+set_tests_properties(example_cubic_spline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_poisson_bvp "/root/repo/build/examples/poisson_bvp" "--levels" "3")
+set_tests_properties(example_poisson_bvp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anisotropic_smoother "/root/repo/build/examples/anisotropic_smoother" "--n" "32" "--sweeps" "10")
+set_tests_properties(example_anisotropic_smoother PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ring_advection "/root/repo/build/examples/ring_advection" "--m" "8" "--n" "128" "--steps" "10")
+set_tests_properties(example_ring_advection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

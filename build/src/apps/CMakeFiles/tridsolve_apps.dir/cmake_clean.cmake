@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_apps.dir/adi.cpp.o"
+  "CMakeFiles/tridsolve_apps.dir/adi.cpp.o.d"
+  "libtridsolve_apps.a"
+  "libtridsolve_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_cpu.dir/mkl_like.cpp.o"
+  "CMakeFiles/tridsolve_cpu.dir/mkl_like.cpp.o.d"
+  "libtridsolve_cpu.a"
+  "libtridsolve_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu_solvers/cr_kernel.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/cr_kernel.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/cr_kernel.cpp.o.d"
+  "/root/repo/src/gpu_solvers/davidson.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/davidson.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/davidson.cpp.o.d"
+  "/root/repo/src/gpu_solvers/hybrid_solver.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/hybrid_solver.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/hybrid_solver.cpp.o.d"
+  "/root/repo/src/gpu_solvers/partition_kernel.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/partition_kernel.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/partition_kernel.cpp.o.d"
+  "/root/repo/src/gpu_solvers/periodic_gpu.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/periodic_gpu.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/periodic_gpu.cpp.o.d"
+  "/root/repo/src/gpu_solvers/pthomas_kernel.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/pthomas_kernel.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/pthomas_kernel.cpp.o.d"
+  "/root/repo/src/gpu_solvers/registry.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/registry.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/registry.cpp.o.d"
+  "/root/repo/src/gpu_solvers/tiled_pcr_kernel.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/tiled_pcr_kernel.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/tiled_pcr_kernel.cpp.o.d"
+  "/root/repo/src/gpu_solvers/transition.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/transition.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/transition.cpp.o.d"
+  "/root/repo/src/gpu_solvers/transpose_kernel.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/transpose_kernel.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/transpose_kernel.cpp.o.d"
+  "/root/repo/src/gpu_solvers/zhang_pcr_thomas.cpp" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/zhang_pcr_thomas.cpp.o" "gcc" "src/gpu_solvers/CMakeFiles/tridsolve_gpu.dir/zhang_pcr_thomas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/tridsolve_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tridiag/CMakeFiles/tridsolve_tridiag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tridsolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

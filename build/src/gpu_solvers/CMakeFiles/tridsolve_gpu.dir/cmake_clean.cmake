@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_gpu.dir/cr_kernel.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/cr_kernel.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/davidson.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/davidson.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/hybrid_solver.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/hybrid_solver.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/partition_kernel.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/partition_kernel.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/periodic_gpu.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/periodic_gpu.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/pthomas_kernel.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/pthomas_kernel.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/registry.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/registry.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/tiled_pcr_kernel.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/tiled_pcr_kernel.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/transition.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/transition.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/transpose_kernel.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/transpose_kernel.cpp.o.d"
+  "CMakeFiles/tridsolve_gpu.dir/zhang_pcr_thomas.cpp.o"
+  "CMakeFiles/tridsolve_gpu.dir/zhang_pcr_thomas.cpp.o.d"
+  "libtridsolve_gpu.a"
+  "libtridsolve_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/timing_model.cpp" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/timing_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/timing_model.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/trace.cpp.o" "gcc" "src/gpusim/CMakeFiles/tridsolve_gpusim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tridsolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/tridsolve_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/tridsolve_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/tridsolve_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/tridsolve_gpusim.dir/timing_model.cpp.o"
+  "CMakeFiles/tridsolve_gpusim.dir/timing_model.cpp.o.d"
+  "CMakeFiles/tridsolve_gpusim.dir/trace.cpp.o"
+  "CMakeFiles/tridsolve_gpusim.dir/trace.cpp.o.d"
+  "libtridsolve_gpusim.a"
+  "libtridsolve_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tridiag/cyclic_reduction.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/cyclic_reduction.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/cyclic_reduction.cpp.o.d"
+  "/root/repo/src/tridiag/lu_pivot.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/lu_pivot.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/lu_pivot.cpp.o.d"
+  "/root/repo/src/tridiag/partition.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/partition.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/partition.cpp.o.d"
+  "/root/repo/src/tridiag/pcr.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/pcr.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/pcr.cpp.o.d"
+  "/root/repo/src/tridiag/pcr_plan.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/pcr_plan.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/pcr_plan.cpp.o.d"
+  "/root/repo/src/tridiag/periodic.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/periodic.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/periodic.cpp.o.d"
+  "/root/repo/src/tridiag/recursive_doubling.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/recursive_doubling.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/recursive_doubling.cpp.o.d"
+  "/root/repo/src/tridiag/residual.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/residual.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/residual.cpp.o.d"
+  "/root/repo/src/tridiag/thomas.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/thomas.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/thomas.cpp.o.d"
+  "/root/repo/src/tridiag/tiled_pcr.cpp" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/tiled_pcr.cpp.o" "gcc" "src/tridiag/CMakeFiles/tridsolve_tridiag.dir/tiled_pcr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tridsolve_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_tridiag.dir/cyclic_reduction.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/cyclic_reduction.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/lu_pivot.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/lu_pivot.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/partition.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/partition.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/pcr.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/pcr.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/pcr_plan.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/pcr_plan.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/periodic.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/periodic.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/recursive_doubling.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/recursive_doubling.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/residual.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/residual.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/thomas.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/thomas.cpp.o.d"
+  "CMakeFiles/tridsolve_tridiag.dir/tiled_pcr.cpp.o"
+  "CMakeFiles/tridsolve_tridiag.dir/tiled_pcr.cpp.o.d"
+  "libtridsolve_tridiag.a"
+  "libtridsolve_tridiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtridsolve_tridiag.a"
+)

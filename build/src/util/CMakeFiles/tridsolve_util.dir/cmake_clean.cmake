@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_util.dir/aligned_buffer.cpp.o"
+  "CMakeFiles/tridsolve_util.dir/aligned_buffer.cpp.o.d"
+  "CMakeFiles/tridsolve_util.dir/cli.cpp.o"
+  "CMakeFiles/tridsolve_util.dir/cli.cpp.o.d"
+  "CMakeFiles/tridsolve_util.dir/random.cpp.o"
+  "CMakeFiles/tridsolve_util.dir/random.cpp.o.d"
+  "CMakeFiles/tridsolve_util.dir/stats.cpp.o"
+  "CMakeFiles/tridsolve_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tridsolve_util.dir/table.cpp.o"
+  "CMakeFiles/tridsolve_util.dir/table.cpp.o.d"
+  "libtridsolve_util.a"
+  "libtridsolve_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridsolve_workloads.dir/generators.cpp.o"
+  "CMakeFiles/tridsolve_workloads.dir/generators.cpp.o.d"
+  "libtridsolve_workloads.a"
+  "libtridsolve_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridsolve_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adi.dir/test_adi.cpp.o"
+  "CMakeFiles/test_adi.dir/test_adi.cpp.o.d"
+  "test_adi"
+  "test_adi.pdb"
+  "test_adi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

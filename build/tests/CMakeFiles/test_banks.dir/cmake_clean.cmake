@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banks.dir/test_banks.cpp.o"
+  "CMakeFiles/test_banks.dir/test_banks.cpp.o.d"
+  "test_banks"
+  "test_banks.pdb"
+  "test_banks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

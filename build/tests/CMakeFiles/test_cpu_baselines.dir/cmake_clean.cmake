@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_baselines.dir/test_cpu_baselines.cpp.o"
+  "CMakeFiles/test_cpu_baselines.dir/test_cpu_baselines.cpp.o.d"
+  "test_cpu_baselines"
+  "test_cpu_baselines.pdb"
+  "test_cpu_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

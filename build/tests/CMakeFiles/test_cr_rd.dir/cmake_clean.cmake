@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cr_rd.dir/test_cr_rd.cpp.o"
+  "CMakeFiles/test_cr_rd.dir/test_cr_rd.cpp.o.d"
+  "test_cr_rd"
+  "test_cr_rd.pdb"
+  "test_cr_rd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cr_rd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

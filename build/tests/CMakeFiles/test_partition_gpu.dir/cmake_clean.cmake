@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_gpu.dir/test_partition_gpu.cpp.o"
+  "CMakeFiles/test_partition_gpu.dir/test_partition_gpu.cpp.o.d"
+  "test_partition_gpu"
+  "test_partition_gpu.pdb"
+  "test_partition_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcr.dir/test_pcr.cpp.o"
+  "CMakeFiles/test_pcr.dir/test_pcr.cpp.o.d"
+  "test_pcr"
+  "test_pcr.pdb"
+  "test_pcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

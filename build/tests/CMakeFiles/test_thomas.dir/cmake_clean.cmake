@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thomas.dir/test_thomas.cpp.o"
+  "CMakeFiles/test_thomas.dir/test_thomas.cpp.o.d"
+  "test_thomas"
+  "test_thomas.pdb"
+  "test_thomas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thomas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

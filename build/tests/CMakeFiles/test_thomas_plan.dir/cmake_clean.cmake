@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thomas_plan.dir/test_thomas_plan.cpp.o"
+  "CMakeFiles/test_thomas_plan.dir/test_thomas_plan.cpp.o.d"
+  "test_thomas_plan"
+  "test_thomas_plan.pdb"
+  "test_thomas_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thomas_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

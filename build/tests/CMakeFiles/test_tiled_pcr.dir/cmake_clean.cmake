@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tiled_pcr.dir/test_tiled_pcr.cpp.o"
+  "CMakeFiles/test_tiled_pcr.dir/test_tiled_pcr.cpp.o.d"
+  "test_tiled_pcr"
+  "test_tiled_pcr.pdb"
+  "test_tiled_pcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tiled_pcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_registry.dir/test_trace_registry.cpp.o"
+  "CMakeFiles/test_trace_registry.dir/test_trace_registry.cpp.o.d"
+  "test_trace_registry"
+  "test_trace_registry.pdb"
+  "test_trace_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_thomas[1]_include.cmake")
+include("/root/repo/build/tests/test_lu_pivot[1]_include.cmake")
+include("/root/repo/build/tests/test_pcr[1]_include.cmake")
+include("/root/repo/build/tests/test_tiled_pcr[1]_include.cmake")
+include("/root/repo/build/tests/test_cr_rd[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_periodic[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_registry[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_banks[1]_include.cmake")
+include("/root/repo/build/tests/test_thomas_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_pcr_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_transpose[1]_include.cmake")
+include("/root/repo/build/tests/test_adi[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_partition_gpu[1]_include.cmake")
