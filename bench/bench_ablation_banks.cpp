@@ -14,7 +14,7 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "m"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"m"}));
   const auto dev = gpusim::gtx480();
   const std::size_t m = static_cast<std::size_t>(cli.get_int("m", 256));
 

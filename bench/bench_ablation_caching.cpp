@@ -11,7 +11,7 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "n", "tile"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"n", "tile"}));
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 65536));
   const std::size_t tile = static_cast<std::size_t>(cli.get_int("tile", 256));
   const std::size_t boundaries = n / tile - 1;

@@ -11,9 +11,10 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const auto dev = gpusim::gtx480();
   const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "ablation_fusion");
 
   util::Table table("Kernel fusion ablation (double, k per Table III)");
   table.set_header({"M", "N", "k", "unfused[us]", "fused[us]", "fused/unfused",
@@ -34,6 +35,8 @@ int main(int argc, char** argv) {
     gpu::HybridOptions fused = plain;
     fused.fuse = true;
     const auto rf = bench::run_ours<double>(dev, cfg.m, cfg.n, fused);
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, rp, "hybrid");
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, rf, "hybrid_fused");
 
     auto bytes = [](const gpu::HybridReport& r) {
       std::size_t total = 0;

@@ -15,9 +15,10 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const auto dev = gpusim::gtx480();
   const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "ablation_solvers");
 
   util::Table table("GPU solver families, execution time [us] (double)");
   table.set_header({"M", "N", "Ours", "Zhang in-shared", "CR in-shared",
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
 
   for (const auto cfg : cfgs) {
     const auto ours = bench::run_ours<double>(dev, cfg.m, cfg.n);
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, ours);
 
     auto fresh = [&] {
       return workloads::make_batch<double>(workloads::Kind::random_dominant,

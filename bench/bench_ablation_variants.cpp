@@ -11,9 +11,10 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const auto dev = gpusim::gtx480();
   const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "ablation_variants");
 
   util::Table table("Fig.11 window variants (double, k per Table III)");
   table.set_header({"M", "N", "k", "(a) 1 blk/sys [us]", "(b) split [us]",
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
     const auto ra = run(gpu::WindowVariant::one_block_per_system);
     const auto rb = run(gpu::WindowVariant::split_system);
     const auto rc = run(gpu::WindowVariant::multi_system_per_block);
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, ra, "hybrid/one_block");
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, rb, "hybrid/split");
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, rc, "hybrid/multi");
 
     const double ta = ra.total_us(), tb = rb.total_us(), tc = rc.total_us();
     const char* best = ta <= tb && ta <= tc ? "a" : (tb <= tc ? "b" : "c");

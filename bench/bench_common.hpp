@@ -2,12 +2,20 @@
 // Shared plumbing for the figure/table reproduction benches.
 
 #include <cstdio>
+#include <map>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/trace.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "tridiag/layout.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,15 +41,137 @@ gpu::HybridReport run_ours(const gpusim::DeviceSpec& dev, std::size_t m,
   return gpu::hybrid_solve<T>(dev, batch, opts);
 }
 
-/// Print a table as ASCII (default) or CSV if --csv was passed.
+enum class Format { ascii, csv, json };
+
+/// Table output format: --format {ascii,csv,json}, with --csv kept as a
+/// backward-compatible alias for --format csv.
+inline Format output_format(const util::Cli& cli) {
+  if (cli.get_bool("csv", false)) return Format::csv;
+  const std::string f = cli.get_string("format", "ascii");
+  if (f == "ascii") return Format::ascii;
+  if (f == "csv") return Format::csv;
+  if (f == "json") return Format::json;
+  throw std::invalid_argument("unknown --format: " + f +
+                              " (expected ascii, csv or json)");
+}
+
+/// Print a table in the format the command line selected.
 inline void emit(const util::Table& table, const util::Cli& cli) {
-  if (cli.get_bool("csv", false)) {
-    std::fputs(table.to_csv().c_str(), stdout);
-  } else {
-    std::fputs(table.to_ascii().c_str(), stdout);
-    std::fputs("\n", stdout);
+  switch (output_format(cli)) {
+    case Format::csv:
+      std::fputs(table.to_csv().c_str(), stdout);
+      break;
+    case Format::json:
+      std::fputs(table.to_json().c_str(), stdout);
+      std::fputs("\n", stdout);
+      break;
+    case Format::ascii:
+      std::fputs(table.to_ascii().c_str(), stdout);
+      std::fputs("\n", stdout);
+      break;
   }
 }
+
+/// Per-bench observability hub, driven by the shared flags
+/// (util::with_obs_flags): a JSONL record sink (--json), a Chrome trace
+/// accumulating every recorded timeline as its own track (--trace-json)
+/// and a metrics-registry dump (--metrics-json). All three are inert
+/// unless their flag was passed.
+class Telemetry {
+ public:
+  Telemetry(const util::Cli& cli, std::string bench_name)
+      : bench_(std::move(bench_name)), trace_(bench_) {
+    if (const auto path = cli.get("json")) sink_ = obs::JsonlSink(*path);
+    trace_path_ = cli.get_string("trace-json", "");
+    metrics_path_ = cli.get_string("metrics-json", "");
+  }
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  ~Telemetry() {
+    if (!trace_path_.empty()) trace_.write_file(trace_path_);
+    if (!metrics_path_.empty()) {
+      if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
+        const std::string text =
+            obs::MetricsRegistry::instance().to_json().dump(1);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "telemetry: cannot open %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return sink_.enabled() || !trace_path_.empty();
+  }
+
+  /// Append one record for a solver run over an (m, n) batch: shape,
+  /// solver, total time, per-phase split (one entry per segment label)
+  /// and the timeline's aggregate totals. `extra` fields are merged in.
+  /// The timeline also becomes one track of the Chrome trace.
+  void record(const gpusim::DeviceSpec& dev, std::string_view solver,
+              std::size_t m, std::size_t n, const gpusim::Timeline& timeline,
+              obs::JsonValue extra = obs::JsonValue::object()) {
+    if (!enabled()) return;
+    if (!trace_path_.empty()) {
+      trace_.add_timeline(dev, timeline,
+                          std::string(solver) + " M=" + std::to_string(m) +
+                              " N=" + std::to_string(n));
+    }
+    if (!sink_.enabled()) return;
+
+    obs::JsonValue rec = std::move(extra);
+    rec["bench"] = bench_;
+    rec["solver"] = std::string(solver);
+    rec["m"] = m;
+    rec["n"] = n;
+    rec["time_us"] = timeline.total_us();
+
+    obs::JsonValue& phases = rec["phases"] = obs::JsonValue::object();
+    std::map<std::string, double> by_label;
+    for (const auto& seg : timeline.segments()) {
+      by_label[seg.label] += seg.stats.timing.time_us;
+    }
+    for (const auto& [label, us] : by_label) phases[label] = us;
+
+    const auto totals = gpusim::summarize_timeline(dev, timeline);
+    rec["kernel_us"] = totals.kernel_us;
+    rec["host_us"] = totals.host_us;
+    rec["overhead_us"] = totals.overhead_us;
+    rec["launches"] = totals.launches;
+    rec["transactions"] = totals.transactions;
+    rec["coalescing_efficiency"] = totals.coalescing_efficiency();
+    sink_.write(rec);
+  }
+
+  /// record() specialization for the hybrid solver's report: adds the
+  /// transition point, window variant and redundancy bookkeeping.
+  void record_hybrid(const gpusim::DeviceSpec& dev, std::size_t m,
+                     std::size_t n, const gpu::HybridReport& report,
+                     std::string_view solver = "hybrid",
+                     obs::JsonValue extra = obs::JsonValue::object()) {
+    if (!enabled()) return;
+    extra["k"] = report.k;
+    extra["variant"] = gpu::window_variant_name(report.variant);
+    extra["reduced_systems"] = report.reduced_systems;
+    extra["redundant_loads"] = report.redundant_loads;
+    extra["pcr_us"] = report.pcr_us();
+    extra["thomas_us"] = report.thomas_us();
+    extra["pcr_fraction"] = report.pcr_fraction();
+    record(dev, solver, m, n, report.timeline, std::move(extra));
+  }
+
+ private:
+  std::string bench_;
+  obs::JsonlSink sink_;
+  obs::ChromeTraceBuilder trace_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 inline std::string us(double v) { return util::Table::num(v, 1); }
 inline std::string ms(double v) { return util::Table::num(v / 1000.0, 2); }

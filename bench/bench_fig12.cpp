@@ -17,7 +17,8 @@ namespace {
 
 template <typename T>
 void panel(const gpusim::DeviceSpec& dev, const cpu::CpuModel& cpu_model,
-           std::size_t n, std::size_t m_max, const util::Cli& cli) {
+           std::size_t n, std::size_t m_max, const util::Cli& cli,
+           bench::Telemetry& telemetry) {
   const bool fp64 = sizeof(T) == 8;
   util::Table table("Fig.12 N=" + std::to_string(n) + " (" +
                     (fp64 ? "double" : "single") +
@@ -35,6 +36,11 @@ void panel(const gpusim::DeviceSpec& dev, const cpu::CpuModel& cpu_model,
                    bench::us(seq), bench::us(mt), bench::us(ours.total_us()),
                    std::to_string(ours.k), bench::ratio(seq / ours.total_us()),
                    bench::ratio(mt / ours.total_us())});
+    obs::JsonValue extra = obs::JsonValue::object();
+    extra["precision"] = fp64 ? "double" : "single";
+    extra["mkl_seq_us"] = seq;
+    extra["mkl_mt_us"] = mt;
+    telemetry.record_hybrid(dev, m, n, ours, "hybrid", std::move(extra));
   }
   bench::emit(table, cli);
   std::printf("  peak speedup at N=%zu (%s): %.1fx over sequential, %.1fx over "
@@ -46,17 +52,28 @@ void panel(const gpusim::DeviceSpec& dev, const cpu::CpuModel& cpu_model,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick", "float"});
+  const util::Cli cli(argc, argv,
+                      util::with_obs_flags({"quick", "smoke", "float"}));
   const auto dev = gpusim::gtx480();
   const cpu::CpuModel cpu_model;
+  bench::Telemetry telemetry(cli, "fig12");
+
+  // --smoke: tiny shapes for CI telemetry validation, one panel only.
+  if (cli.get_bool("smoke", false)) {
+    panel<double>(dev, cpu_model, 512, 256, cli, telemetry);
+    return 0;
+  }
 
   const bool quick = cli.get_bool("quick", false);
-  panel<double>(dev, cpu_model, 512, quick ? 4096 : 16384, cli);   // Fig. 12(a)
-  panel<double>(dev, cpu_model, 2048, quick ? 1024 : 4096, cli);   // Fig. 12(b)
-  panel<double>(dev, cpu_model, 16384, quick ? 256 : 1024, cli);   // Fig. 12(c)
+  panel<double>(dev, cpu_model, 512, quick ? 4096 : 16384, cli,
+                telemetry);                                         // Fig. 12(a)
+  panel<double>(dev, cpu_model, 2048, quick ? 1024 : 4096, cli,
+                telemetry);                                         // Fig. 12(b)
+  panel<double>(dev, cpu_model, 16384, quick ? 256 : 1024, cli,
+                telemetry);                                         // Fig. 12(c)
   if (cli.get_bool("float", true)) {
     // The single-precision headline (§IV text; not plotted in Fig. 12).
-    panel<float>(dev, cpu_model, 512, quick ? 4096 : 16384, cli);
+    panel<float>(dev, cpu_model, 512, quick ? 4096 : 16384, cli, telemetry);
   }
   return 0;
 }

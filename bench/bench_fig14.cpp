@@ -24,7 +24,7 @@ struct Config {
 
 template <typename T>
 void panel(const gpusim::DeviceSpec& dev, const std::vector<Config>& configs,
-           const util::Cli& cli) {
+           const util::Cli& cli, bench::Telemetry& telemetry) {
   const bool fp64 = sizeof(T) == 8;
   util::Table table(std::string("Fig.14") + (fp64 ? "(a) double" : "(b) single") +
                     ": Ours vs Davidson-style hybrid, execution time [ms]");
@@ -35,6 +35,10 @@ void panel(const gpusim::DeviceSpec& dev, const std::vector<Config>& configs,
 
   for (const auto& cfg : configs) {
     const auto ours = bench::run_ours<T>(dev, cfg.m, cfg.n);
+    obs::JsonValue extra = obs::JsonValue::object();
+    extra["precision"] = fp64 ? "double" : "single";
+    telemetry.record_hybrid(dev, cfg.m, cfg.n, ours, "hybrid",
+                            std::move(extra));
 
     auto batch = workloads::make_batch<T>(workloads::Kind::random_dominant,
                                           cfg.m, cfg.n,
@@ -61,9 +65,10 @@ void panel(const gpusim::DeviceSpec& dev, const std::vector<Config>& configs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const auto dev = gpusim::gtx480();
   const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "fig14");
 
   // Paper values from Fig. 14 (a) and (b).
   std::vector<Config> dbl{{1024, 1024, "1Kx1K", 2.12, 4.87, -1},
@@ -79,7 +84,7 @@ int main(int argc, char** argv) {
     flt.resize(2);
   }
 
-  panel<double>(dev, dbl, cli);
-  panel<float>(dev, flt, cli);
+  panel<double>(dev, dbl, cli, telemetry);
+  panel<float>(dev, flt, cli, telemetry);
   return 0;
 }

@@ -12,7 +12,7 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "c"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"c"}));
   const auto dev = gpusim::gtx480();
   const std::size_t c = static_cast<std::size_t>(cli.get_int("c", 1));
 

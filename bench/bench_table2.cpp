@@ -14,9 +14,11 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const auto dev = gpusim::gtx480();
   const double p = gpu::machine_parallelism(dev);
+  const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "table2");
 
   {
     util::Table table("Table II: computation cost [elimination steps] with P=" +
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
     table.set_header({"M", "N", "k", "PCR elims measured", "PCR elims k*M*N",
                       "match"});
     for (unsigned k : {2u, 4u, 6u}) {
-      const std::size_t m = 8, n = 4096;
+      const std::size_t m = 8, n = quick ? 1024 : 4096;
       auto batch = workloads::make_batch<double>(
           workloads::Kind::random_dominant, m, n, tridiag::Layout::contiguous, k);
       std::vector<gpu::TiledPcrWork<double>> work;
@@ -60,6 +62,15 @@ int main(int argc, char** argv) {
       table.add_row({std::to_string(m), std::to_string(n), std::to_string(k),
                      std::to_string(stats.eliminations), std::to_string(expected),
                      stats.eliminations == expected ? "yes" : "NO"});
+
+      // One telemetry record + trace track per cross-checked configuration:
+      // the same shape through the full instrumented hybrid at forced k.
+      if (telemetry.enabled()) {
+        gpu::HybridOptions opts;
+        opts.force_k = static_cast<int>(k);
+        const auto report = bench::run_ours<double>(dev, m, n, opts);
+        telemetry.record_hybrid(dev, m, n, report);
+      }
     }
     bench::emit(table, cli);
   }

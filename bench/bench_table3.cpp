@@ -12,11 +12,12 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "n", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"n", "quick"}));
   const auto dev = gpusim::gtx480();
   // System size chosen so every k in 0..8 is feasible; total work is kept
   // comparable across rows by shrinking N as M grows.
   const bool quick = cli.get_bool("quick", false);
+  bench::Telemetry telemetry(cli, "table3");
 
   util::Table table("Table III: best k-step per M (simulated sweep vs paper)");
   table.set_header({"M", "N", "best k (sim)", "time[us] best", "paper k",
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
       gpu::HybridOptions opts;
       opts.force_k = static_cast<int>(k);
       const auto rep = bench::run_ours<double>(dev, cfg.m, cfg.n, opts);
+      telemetry.record_hybrid(dev, cfg.m, cfg.n, rep);
       if (rep.total_us() < best_t) {
         best_t = rep.total_us();
         best_k = k;

@@ -14,7 +14,7 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv", "quick"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"quick"}));
   const bool quick = cli.get_bool("quick", false);
 
   auto fat_fermi = gpusim::gtx480();

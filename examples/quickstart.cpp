@@ -4,6 +4,9 @@
 //
 //   ./quickstart [--n 1000] [--trace]   (--trace prints the simulated
 //                                        per-kernel timeline)
+//   --trace-json out.json  writes a Chrome trace (open in Perfetto)
+//   --json out.jsonl       appends one structured telemetry record
+//   --metrics-json out.json dumps the process metrics registry
 
 #include <cstdio>
 
@@ -11,6 +14,9 @@
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/trace.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "tridiag/lu_pivot.hpp"
 #include "tridiag/residual.hpp"
 #include "tridiag/thomas.hpp"
@@ -21,7 +27,7 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "trace"});
+  const util::Cli cli(argc, argv, util::with_obs_flags({"n", "trace"}));
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 1000));
 
   // A diagonally dominant random system A x = d.
@@ -85,6 +91,39 @@ int main(int argc, char** argv) {
             .to_ascii()
             .c_str(),
         stdout);
+  }
+
+  // Structured observability outputs (see DESIGN.md "Observability").
+  if (const std::string trace_path = cli.get_string("trace-json", "");
+      !trace_path.empty()) {
+    obs::ChromeTraceBuilder trace("quickstart");
+    trace.add_timeline(dev, report.timeline,
+                       "hybrid N=" + std::to_string(n));
+    trace.write_file(trace_path);
+    std::printf("wrote Chrome trace (%zu events) to %s\n", trace.event_count(),
+                trace_path.c_str());
+  }
+  if (const std::string jsonl_path = cli.get_string("json", "");
+      !jsonl_path.empty()) {
+    obs::JsonlSink sink(jsonl_path);
+    obs::JsonValue rec = obs::JsonValue::object();
+    rec["bench"] = "quickstart";
+    rec["solver"] = "hybrid";
+    rec["m"] = 1.0;
+    rec["n"] = static_cast<double>(n);
+    rec["time_us"] = report.total_us();
+    rec["k"] = static_cast<double>(report.k);
+    rec["residual"] = r_hybrid;
+    sink.write(rec);
+  }
+  if (const std::string metrics_path = cli.get_string("metrics-json", "");
+      !metrics_path.empty()) {
+    if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+      const std::string dump = obs::MetricsRegistry::instance().to_json().dump(1);
+      std::fwrite(dump.data(), 1, dump.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
   }
   return r_hybrid < 1e-10 ? 0 : 2;
 }

@@ -5,9 +5,20 @@
 
 #include "gpu_solvers/pthomas_kernel.hpp"
 #include "gpu_solvers/transition.hpp"
+#include "obs/metrics.hpp"
 #include "tridiag/pcr.hpp"
 
 namespace tridsolve::gpu {
+
+const char* window_variant_name(WindowVariant v) noexcept {
+  switch (v) {
+    case WindowVariant::auto_select: return "auto";
+    case WindowVariant::one_block_per_system: return "one_block_per_system";
+    case WindowVariant::split_system: return "split_system";
+    case WindowVariant::multi_system_per_block: return "multi_system_per_block";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -74,16 +85,23 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   const std::size_t n = batch.system_size();
   if (m_count == 0 || n == 0) return report;
 
+  const obs::ScopedTimer host_timer("hybrid.solve");
+  obs::count("hybrid.solves");
+
   // --- 1. transition point -------------------------------------------------
   unsigned k;
   if (opts.force_k >= 0) {
     k = static_cast<unsigned>(opts.force_k);
+    obs::count("transition.source.forced");
   } else if (opts.use_cost_model) {
     k = model_best_k(m_count, n, dev);
+    obs::count("transition.source.model");
   } else {
     k = heuristic_k(m_count, n);
+    obs::count("transition.source.heuristic");
   }
   report.k = k;
+  obs::gauge("transition.k", k);
 
   // --- 2. tiled PCR ---------------------------------------------------------
   std::optional<tridiag::SystemBatch<T>> scratch;  // split-system double buffer
@@ -143,8 +161,24 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
     report.eliminations_pcr = pcr_stats.eliminations;
     report.redundant_loads = pcr_stats.redundant_loads();
     report.pcr_shared_bytes = pcr_stats.launch.costs.shared_peak_bytes;
+
+    // The paper's redundancy model (Eqs. 8-9), as first-class metrics.
+    obs::count("pcr.windows", static_cast<double>(pcr_stats.windows));
+    obs::count("pcr.sub_tile_boundaries",
+               static_cast<double>(pcr_stats.sub_tile_boundaries));
+    obs::count("pcr.redundant_loads_avoided",
+               static_cast<double>(pcr_stats.halo_loads_avoided));
+    obs::count("pcr.redundant_elims_avoided",
+               static_cast<double>(pcr_stats.redundant_elims_avoided));
+    obs::count("pcr.redundant_loads",
+               static_cast<double>(pcr_stats.redundant_loads()));
+    obs::count("pcr.eliminations",
+               static_cast<double>(pcr_stats.eliminations));
+    obs::count(std::string("hybrid.variant.") +
+               window_variant_name(report.variant));
   } else {
     report.variant = WindowVariant::one_block_per_system;
+    obs::count("hybrid.variant.pthomas_only");
   }
 
   // --- 3. p-Thomas over the reduced systems ---------------------------------

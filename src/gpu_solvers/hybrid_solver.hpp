@@ -29,6 +29,9 @@ enum class WindowVariant {
   multi_system_per_block, ///< Fig. 11(c): several windows per block
 };
 
+/// Stable name for reports, metrics and telemetry records.
+[[nodiscard]] const char* window_variant_name(WindowVariant v) noexcept;
+
 struct HybridOptions {
   int force_k = -1;             ///< >= 0 overrides the heuristic
   bool use_cost_model = false;  ///< Table II model instead of Table III

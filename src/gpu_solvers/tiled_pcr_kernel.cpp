@@ -64,7 +64,17 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
   const std::size_t grid = (work.size() + G - 1) / G;
 
   TiledPcrStats stats;
-  for (const auto& w : work) stats.rows_total += w.r1 - w.r0;
+  stats.windows = work.size();
+  for (const auto& w : work) {
+    const std::size_t len = w.r1 - w.r0;
+    stats.rows_total += len;
+    const std::size_t tiles = (len + S - 1) / S;
+    if (tiles > 1) stats.sub_tile_boundaries += tiles - 1;
+  }
+  stats.halo_loads_avoided =
+      stats.sub_tile_boundaries * tridiag::pcr_halo(cfg.k);
+  stats.redundant_elims_avoided =
+      stats.sub_tile_boundaries * tridiag::pcr_redundant_elims(cfg.k);
 
   stats.launch = gpusim::launch(dev, {grid, threads}, [&](gpusim::BlockContext& ctx) {
     // ---- Window state for this block -----------------------------------

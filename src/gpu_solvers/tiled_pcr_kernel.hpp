@@ -65,6 +65,16 @@ struct TiledPcrStats {
   std::size_t row_loads = 0;     ///< real input rows loaded (incl. halo redundancy)
   std::size_t rows_total = 0;    ///< sum of region lengths (useful rows)
 
+  // The paper's redundancy model (Eqs. 8-9): a naive halo-tiled kernel
+  // with the same sub-tile size S re-loads f(k) = 2^k - 1 rows and
+  // re-eliminates g(k) = k*2^k - 2^{k+1} + 2 rows at every interior
+  // sub-tile boundary. The sliding window pays neither; these counters
+  // quantify exactly what it avoided.
+  std::size_t windows = 0;              ///< window assignments executed
+  std::size_t sub_tile_boundaries = 0;  ///< interior boundaries, all windows
+  std::size_t halo_loads_avoided = 0;       ///< f(k) per boundary (Eq. 8)
+  std::size_t redundant_elims_avoided = 0;  ///< g(k) per boundary (Eq. 9)
+
   [[nodiscard]] std::size_t redundant_loads() const noexcept {
     return row_loads - rows_total;
   }

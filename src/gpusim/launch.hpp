@@ -11,6 +11,7 @@
 #include "gpusim/costs.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/timing_model.hpp"
+#include "obs/metrics.hpp"
 
 namespace tridsolve::gpusim {
 
@@ -57,6 +58,13 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
     throw std::invalid_argument("launch: kernel not launchable (" +
                                 stats.timing.occupancy.limiter + " limit)");
   }
+  obs::count("gpusim.launches");
+  obs::count("gpusim.kernel_us", stats.timing.time_us);
+  obs::count("gpusim.overhead_us", stats.timing.overhead_us);
+  obs::count("gpusim.transactions", static_cast<double>(stats.costs.transactions));
+  obs::count("gpusim.bytes_requested",
+             static_cast<double>(stats.costs.bytes_requested));
+  obs::count("gpusim.barriers", static_cast<double>(stats.costs.barriers));
   return stats;
 }
 
@@ -66,18 +74,23 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
 /// time is 6.25% and 36.2% ...").
 class Timeline {
  public:
+  /// What a segment represents: a simulated kernel launch, or a fixed
+  /// host-side cost (no grid/block, no occupancy — reports must not
+  /// render it as a real `<<<g,b>>>` launch).
+  enum class SegmentKind { kernel, host };
+
   void add(std::string label, const LaunchStats& stats) {
     total_us_ += stats.timing.time_us;
-    segments_.push_back({std::move(label), stats});
+    segments_.push_back({std::move(label), stats, SegmentKind::kernel});
   }
 
   /// Add a host-side cost (e.g. layout conversion charged to the GPU
-  /// timeline as an extra kernel in ablations).
+  /// timeline as an extra segment in ablations).
   void add_fixed(std::string label, double time_us) {
     total_us_ += time_us;
     LaunchStats s;
     s.timing.time_us = time_us;
-    segments_.push_back({std::move(label), s});
+    segments_.push_back({std::move(label), s, SegmentKind::host});
   }
 
   [[nodiscard]] double total_us() const noexcept { return total_us_; }
@@ -85,6 +98,11 @@ class Timeline {
   struct Segment {
     std::string label;
     LaunchStats stats;
+    SegmentKind kind = SegmentKind::kernel;
+
+    [[nodiscard]] bool is_host() const noexcept {
+      return kind == SegmentKind::host;
+    }
   };
   [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
     return segments_;

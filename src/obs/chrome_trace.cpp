@@ -1,0 +1,108 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace tridsolve::obs {
+
+namespace {
+
+JsonValue metadata_event(const char* name, int tid, const std::string& value) {
+  JsonValue ev = JsonValue::object();
+  ev["name"] = name;
+  ev["ph"] = "M";
+  ev["pid"] = 0;
+  ev["tid"] = tid;
+  ev["args"]["name"] = value;
+  return ev;
+}
+
+}  // namespace
+
+ChromeTraceBuilder::ChromeTraceBuilder(std::string process_name)
+    : process_name_(std::move(process_name)) {
+  trace_events_.push_back(metadata_event("process_name", 0, process_name_));
+}
+
+int ChromeTraceBuilder::add_timeline(const gpusim::DeviceSpec& dev,
+                                     const gpusim::Timeline& timeline,
+                                     const std::string& track_name) {
+  const int tid = next_tid_++;
+  trace_events_.push_back(metadata_event("thread_name", tid, track_name));
+
+  double cursor_us = 0.0;
+  for (const auto& seg : timeline.segments()) {
+    const auto& s = seg.stats;
+    JsonValue ev = JsonValue::object();
+    ev["name"] = seg.label;
+    ev["ph"] = "X";
+    ev["pid"] = 0;
+    ev["tid"] = tid;
+    ev["ts"] = cursor_us;
+    ev["dur"] = s.timing.time_us;
+    JsonValue& args = ev["args"] = JsonValue::object();
+    if (seg.is_host()) {
+      ev["cat"] = "host";
+      args["kind"] = "host";
+    } else {
+      ev["cat"] = "kernel";
+      args["grid"] = s.config.grid_blocks;
+      args["block"] = s.config.block_threads;
+      args["occupancy"] = s.timing.occupancy.fraction;
+      args["limiter"] = s.timing.occupancy.limiter;
+      args["bound"] = s.timing.bound();
+      args["compute_us"] = s.timing.compute_us;
+      args["latency_us"] = s.timing.latency_us;
+      args["bandwidth_us"] = s.timing.bandwidth_us;
+      args["overhead_us"] = s.timing.overhead_us;
+      args["transactions"] = s.costs.transactions;
+      args["bytes_requested"] = s.costs.bytes_requested;
+      args["coalescing_efficiency"] =
+          s.costs.coalescing_efficiency(dev.transaction_bytes);
+      args["bank_conflict_replays"] = s.costs.shared_serializations;
+      args["barriers"] = s.costs.barriers;
+      args["warps"] = s.costs.warps;
+      args["shared_peak_bytes"] = s.costs.shared_peak_bytes;
+    }
+    trace_events_.push_back(std::move(ev));
+    ++events_;
+    cursor_us += s.timing.time_us;
+  }
+  return tid;
+}
+
+JsonValue ChromeTraceBuilder::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc["traceEvents"] = trace_events_;
+  doc["displayTimeUnit"] = "ms";
+  JsonValue& other = doc["otherData"] = JsonValue::object();
+  other["exporter"] = "tridsolve-obs";
+  other["process"] = process_name_;
+  other["metrics"] = MetricsRegistry::instance().to_json();
+  return doc;
+}
+
+bool ChromeTraceBuilder::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "chrome_trace: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string text = str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "chrome_trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+std::string chrome_trace_json(const gpusim::DeviceSpec& dev,
+                              const gpusim::Timeline& timeline,
+                              const std::string& track_name) {
+  ChromeTraceBuilder builder;
+  builder.add_timeline(dev, timeline, track_name);
+  return builder.str();
+}
+
+}  // namespace tridsolve::obs

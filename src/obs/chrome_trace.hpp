@@ -1,0 +1,60 @@
+#pragma once
+// Chrome trace-event exporter: converts simulated `gpusim::Timeline`s
+// into a trace.json loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Each timeline becomes one track (a trace "thread"); each segment
+// becomes one complete duration event ("ph":"X") laid out back-to-back
+// in simulated time, carrying the launch's full stats as args: grid x
+// block, occupancy + limiting resource, binding bound, transactions,
+// coalescing efficiency, bank-conflict replays and barriers. Host-side
+// segments (Timeline::add_fixed) are exported in a "host" category with
+// no launch-shaped args. Timestamps are microseconds, which is exactly
+// the Chrome trace `ts`/`dur` unit.
+
+#include <cstddef>
+#include <string>
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "obs/json.hpp"
+
+namespace tridsolve::obs {
+
+class ChromeTraceBuilder {
+ public:
+  explicit ChromeTraceBuilder(std::string process_name = "tridsolve-sim");
+
+  /// Append every segment of `timeline` as one new track named
+  /// `track_name`. Events start at the track's cursor (0 for a fresh
+  /// track) and are laid out contiguously. Returns the track's tid.
+  int add_timeline(const gpusim::DeviceSpec& dev,
+                   const gpusim::Timeline& timeline,
+                   const std::string& track_name);
+
+  /// Duration events recorded so far (metadata events not counted).
+  [[nodiscard]] std::size_t event_count() const noexcept { return events_; }
+
+  /// The full document: {"traceEvents": [...], "displayTimeUnit": "ms",
+  /// "otherData": {...}}. A snapshot of the metrics registry is embedded
+  /// under otherData.metrics.
+  [[nodiscard]] JsonValue to_json() const;
+
+  [[nodiscard]] std::string str() const { return to_json().dump(1); }
+
+  /// Serialize to `path`; false (with a note on stderr) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::string process_name_;
+  JsonValue trace_events_ = JsonValue::array();
+  int next_tid_ = 0;
+  std::size_t events_ = 0;
+};
+
+/// One-shot convenience: a single-timeline trace document as a string.
+[[nodiscard]] std::string chrome_trace_json(const gpusim::DeviceSpec& dev,
+                                            const gpusim::Timeline& timeline,
+                                            const std::string& track_name);
+
+}  // namespace tridsolve::obs

@@ -1,0 +1,313 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tridsolve::obs {
+
+namespace {
+
+/// Format a JSON number: integral doubles in the exactly-representable
+/// range print without a fraction so counters stay readable.
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  constexpr double exact = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && std::fabs(v) < exact) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_utf8(std::string& out, unsigned cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return literal("null") ? std::optional<JsonValue>(JsonValue())
+                                       : std::nullopt;
+      case 't': return literal("true") ? std::optional<JsonValue>(JsonValue(true))
+                                       : std::nullopt;
+      case 'f': return literal("false")
+                           ? std::optional<JsonValue>(JsonValue(false))
+                           : std::nullopt;
+      case '"': return string_value();
+      case '[': return array_value();
+      case '{': return object_value();
+      default: return number_value();
+    }
+  }
+
+  std::optional<JsonValue> number_value() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    auto digit_run = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (!digits) return std::nullopt;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits = false;
+      digit_run();
+      if (!digits) return std::nullopt;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      digits = false;
+      digit_run();
+      if (!digits) return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::optional<std::string> string_token() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          append_utf8(out, cp);  // BMP only; surrogate pairs land as-is
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> string_value() {
+    auto s = string_token();
+    if (!s) return std::nullopt;
+    return JsonValue(std::move(*s));
+  }
+
+  std::optional<JsonValue> array_value() {
+    if (!eat('[')) return std::nullopt;
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (eat(']')) return arr;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> object_value() {
+    if (!eat('{')) return std::nullopt;
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = string_token();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!eat(':')) return std::nullopt;
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj[*key] = std::move(*v);
+      skip_ws();
+      if (eat('}')) return obj;
+      if (!eat(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::null) kind_ = Kind::object;
+  return obj_[key];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::object) return nullptr;
+  const auto it = obj_.find(std::string(key));
+  return it == obj_.end() ? nullptr : &it->second;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::null) kind_ = Kind::array;
+  arr_.push_back(std::move(v));
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::null: out += "null"; break;
+    case Kind::boolean: out += bool_ ? "true" : "false"; break;
+    case Kind::number: out += format_number(num_); break;
+    case Kind::string: out += json_quote(str_); break;
+    case Kind::array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += json_quote(key);
+        out += pretty ? ": " : ":";
+        val.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace tridsolve::obs

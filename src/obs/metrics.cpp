@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+namespace tridsolve::obs {
+
+MetricsRegistry& MetricsRegistry::instance() noexcept {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add(std::string_view name, double delta) noexcept {
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      it->second += delta;
+    } else {
+      counters_.emplace(std::string(name), delta);
+    }
+  } catch (...) {
+    // Drop the sample rather than propagate from instrumentation.
+  }
+}
+
+void MetricsRegistry::set(std::string_view name, double value) noexcept {
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(name);
+    if (it != gauges_.end()) {
+      it->second = value;
+    } else {
+      gauges_.emplace(std::string(name), value);
+    }
+  } catch (...) {
+  }
+}
+
+double MetricsRegistry::counter(std::string_view name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::has_counter(std::string_view name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.find(name) != counters_.end();
+}
+
+bool MetricsRegistry::has_gauge(std::string_view name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.find(name) != gauges_.end();
+}
+
+std::map<std::string, double> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return {gauges_.begin(), gauges_.end()};
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue out = JsonValue::object();
+  JsonValue& c = out["counters"] = JsonValue::object();
+  JsonValue& g = out["gauges"] = JsonValue::object();
+  for (const auto& [name, value] : counters()) c[name] = value;
+  for (const auto& [name, value] : gauges()) g[name] = value;
+  return out;
+}
+
+void MetricsRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace tridsolve::obs

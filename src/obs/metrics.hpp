@@ -1,0 +1,99 @@
+#pragma once
+// Process-wide solver metrics registry: named counters and gauges every
+// layer of the stack records into, plus RAII scoped host timers.
+//
+// Counters accumulate (launch counts, redundant loads avoided per the
+// paper's Eq. 8-9 model, layout-conversion rows); gauges hold the latest
+// value of a decision (the chosen transition point k, the window variant).
+// Tests and the bench telemetry sink read the registry back; `to_json`
+// dumps the whole state for --metrics-json.
+//
+// All mutation paths are noexcept so instrumentation can live inside
+// noexcept solver code: an allocation failure drops the sample instead of
+// terminating the process.
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace tridsolve::obs {
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (benches, examples and tests share it).
+  [[nodiscard]] static MetricsRegistry& instance() noexcept;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Add `delta` to counter `name` (created at zero on first use).
+  void add(std::string_view name, double delta = 1.0) noexcept;
+
+  /// Set gauge `name` to `value`.
+  void set(std::string_view name, double value) noexcept;
+
+  /// Current counter value; 0 when never incremented.
+  [[nodiscard]] double counter(std::string_view name) const noexcept;
+
+  /// Latest gauge value; 0 when never set.
+  [[nodiscard]] double gauge(std::string_view name) const noexcept;
+
+  [[nodiscard]] bool has_counter(std::string_view name) const noexcept;
+  [[nodiscard]] bool has_gauge(std::string_view name) const noexcept;
+
+  [[nodiscard]] std::map<std::string, double> counters() const;
+  [[nodiscard]] std::map<std::string, double> gauges() const;
+
+  /// {"counters": {...}, "gauges": {...}} snapshot.
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// Drop every counter and gauge (tests isolate themselves with this).
+  void reset() noexcept;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+/// Shorthands against the process-wide registry.
+inline void count(std::string_view name, double delta = 1.0) noexcept {
+  MetricsRegistry::instance().add(name, delta);
+}
+inline void gauge(std::string_view name, double value) noexcept {
+  MetricsRegistry::instance().set(name, value);
+}
+
+/// RAII wall-clock timer: on destruction adds the elapsed microseconds to
+/// counter "<name>.time_us" and bumps "<name>.calls". Measures *host*
+/// orchestration time, complementing the simulated GPU timeline.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name) noexcept
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double us =
+        std::chrono::duration<double, std::micro>(elapsed).count();
+    try {
+      count(name_ + ".time_us", us);
+      count(name_ + ".calls");
+    } catch (...) {
+      // Instrumentation must never take the process down.
+    }
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tridsolve::obs

@@ -1,0 +1,25 @@
+#include "obs/telemetry.hpp"
+
+#include <stdexcept>
+
+namespace tridsolve::obs {
+
+JsonlSink::JsonlSink(std::string path) : path_(std::move(path)) {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (!f) {
+    throw std::runtime_error("JsonlSink: cannot open " + path_ +
+                             " for writing");
+  }
+  file_ = std::shared_ptr<std::FILE>(f, [](std::FILE* p) { std::fclose(p); });
+}
+
+void JsonlSink::write(const JsonValue& record) {
+  if (!file_) return;
+  const std::string line = record.dump();
+  std::fwrite(line.data(), 1, line.size(), file_.get());
+  std::fputc('\n', file_.get());
+  std::fflush(file_.get());
+  ++records_;
+}
+
+}  // namespace tridsolve::obs

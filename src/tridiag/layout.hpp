@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "tridiag/types.hpp"
 #include "util/aligned_buffer.hpp"
 
@@ -86,8 +87,14 @@ class SystemBatch {
 };
 
 /// Produce a copy of `in` with the other layout (or the requested one).
+/// Conversions are not free on real hardware, so the metrics registry
+/// tracks how many rows crossed layouts (the paper's layout-conversion
+/// cost the hybrid avoids by producing interleaved output in place).
 template <typename T>
 [[nodiscard]] SystemBatch<T> convert_layout(const SystemBatch<T>& in, Layout to) {
+  obs::count("layout.conversions");
+  obs::count("layout.rows_converted",
+             static_cast<double>(in.num_systems() * in.system_size()));
   SystemBatch<T> out(in.num_systems(), in.system_size(), to);
   for (std::size_t m = 0; m < in.num_systems(); ++m) {
     for (std::size_t i = 0; i < in.system_size(); ++i) {

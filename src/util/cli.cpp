@@ -68,4 +68,14 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
 }
 
+std::vector<std::string> with_obs_flags(std::vector<std::string> flags) {
+  for (const char* name :
+       {"json", "trace-json", "metrics-json", "format", "csv"}) {
+    if (std::find(flags.begin(), flags.end(), name) == flags.end()) {
+      flags.emplace_back(name);
+    }
+  }
+  return flags;
+}
+
 }  // namespace tridsolve::util

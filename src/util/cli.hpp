@@ -39,4 +39,14 @@ class Cli {
   std::vector<std::string> positional_;
 };
 
+/// The observability flags every bench/example accepts on top of its own:
+///   --json <path>         append one JSONL telemetry record per config
+///   --trace-json <path>   write a Chrome trace-event (Perfetto) file
+///   --metrics-json <path> dump the metrics registry at exit
+///   --format {ascii,csv,json}  table output format
+///   --csv                 legacy alias for --format csv
+/// Returns `flags` with those names appended, for the Cli constructor.
+[[nodiscard]] std::vector<std::string> with_obs_flags(
+    std::vector<std::string> flags);
+
 }  // namespace tridsolve::util

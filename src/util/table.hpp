@@ -30,6 +30,11 @@ class Table {
   /// Render as CSV (no alignment, comma-separated, quoted when needed).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Render as a JSON object: {"title": ..., "header": [...], "rows":
+  /// [[...], ...]}. Cells stay strings — the table holds pre-formatted
+  /// text, and lossy re-parsing into numbers is the reader's decision.
+  [[nodiscard]] std::string to_json() const;
+
   [[nodiscard]] const std::string& title() const noexcept { return title_; }
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 

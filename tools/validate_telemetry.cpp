@@ -1,0 +1,182 @@
+// Schema validator for the observability layer's file outputs, used by
+// the `bench-smoke` CTest entries (and handy interactively):
+//
+//   validate_telemetry --jsonl table2.jsonl [--min-records 3]
+//                      [--trace table2.trace.json]
+//
+// JSONL checks, per line: parses as a JSON object; `bench` and `solver`
+// are non-empty strings; `m` and `n` are positive numbers; `time_us` is a
+// non-negative number; `phases` (when present) is an object of
+// non-negative numbers whose sum matches `time_us`.
+//
+// Chrome-trace checks: top-level object with a `traceEvents` array; every
+// event has a string `name` and `ph`; "X" (duration) events carry
+// numeric ts/dur/pid/tid with ts, dur >= 0; within each (pid, tid) track,
+// events sorted by ts are non-overlapping (monotonic timeline).
+//
+// Exit code 0 on success; 1 with a diagnostic on the first failure.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+using tridsolve::obs::JsonValue;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  std::fprintf(stderr, "validate_telemetry: FAIL: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (!v) fail(where + ": missing key \"" + key + "\"");
+  return *v;
+}
+
+double require_number(const JsonValue& obj, const std::string& key,
+                      const std::string& where) {
+  const JsonValue& v = require(obj, key, where);
+  if (!v.is_number()) fail(where + ": \"" + key + "\" is not a number");
+  return v.as_number();
+}
+
+std::string require_string(const JsonValue& obj, const std::string& key,
+                           const std::string& where) {
+  const JsonValue& v = require(obj, key, where);
+  if (!v.is_string() || v.as_string().empty()) {
+    fail(where + ": \"" + key + "\" is not a non-empty string");
+  }
+  return v.as_string();
+}
+
+std::size_t validate_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  std::size_t records = 0, lineno = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string where = path + ":" + std::to_string(lineno);
+    const auto parsed = JsonValue::parse(line);
+    if (!parsed) fail(where + ": line is not valid JSON");
+    if (!parsed->is_object()) fail(where + ": record is not a JSON object");
+    const JsonValue& rec = *parsed;
+
+    require_string(rec, "bench", where);
+    require_string(rec, "solver", where);
+    if (require_number(rec, "m", where) <= 0) fail(where + ": m <= 0");
+    if (require_number(rec, "n", where) <= 0) fail(where + ": n <= 0");
+    const double time_us = require_number(rec, "time_us", where);
+    if (time_us < 0) fail(where + ": time_us < 0");
+
+    if (const JsonValue* phases = rec.find("phases")) {
+      if (!phases->is_object()) fail(where + ": phases is not an object");
+      double sum = 0.0;
+      for (const auto& [label, v] : phases->as_object()) {
+        if (!v.is_number() || v.as_number() < 0) {
+          fail(where + ": phase \"" + label + "\" is not a number >= 0");
+        }
+        sum += v.as_number();
+      }
+      const double tol = 1e-6 * std::max(1.0, time_us);
+      if (phases->size() > 0 && std::abs(sum - time_us) > tol) {
+        fail(where + ": phases sum " + std::to_string(sum) +
+             " != time_us " + std::to_string(time_us));
+      }
+    }
+    ++records;
+  }
+  return records;
+}
+
+void validate_trace(const std::string& path) {
+  const auto parsed = JsonValue::parse(read_file(path));
+  if (!parsed) fail(path + ": not valid JSON");
+  if (!parsed->is_object()) fail(path + ": top level is not an object");
+  const JsonValue& events = require(*parsed, "traceEvents", path);
+  if (!events.is_array()) fail(path + ": traceEvents is not an array");
+
+  // (pid, tid) -> sorted-by-ts [start, end) intervals of "X" events.
+  std::map<std::pair<double, double>, std::vector<std::pair<double, double>>>
+      tracks;
+  std::size_t idx = 0, durations = 0;
+  for (const JsonValue& ev : events.as_array()) {
+    const std::string where = path + " traceEvents[" + std::to_string(idx++) +
+                              "]";
+    if (!ev.is_object()) fail(where + ": event is not an object");
+    require_string(ev, "name", where);
+    const std::string ph = require_string(ev, "ph", where);
+    if (ph != "X") continue;
+    const double ts = require_number(ev, "ts", where);
+    const double dur = require_number(ev, "dur", where);
+    if (ts < 0) fail(where + ": ts < 0");
+    if (dur < 0) fail(where + ": dur < 0");
+    const double pid = require_number(ev, "pid", where);
+    const double tid = require_number(ev, "tid", where);
+    tracks[{pid, tid}].emplace_back(ts, ts + dur);
+    ++durations;
+  }
+  if (durations == 0) fail(path + ": no duration (\"X\") events");
+
+  for (auto& [track, spans] : tracks) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].first + 1e-9 < spans[i - 1].second) {
+        fail(path + ": overlapping events on tid " +
+             std::to_string(track.second) + " (ts " +
+             std::to_string(spans[i].first) + " starts before previous event"
+             " ends at " + std::to_string(spans[i - 1].second) + ")");
+      }
+    }
+  }
+  std::printf("validate_telemetry: %s OK (%zu duration events, %zu tracks)\n",
+              path.c_str(), durations, tracks.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tridsolve::util::Cli cli(argc, argv,
+                                 {"jsonl", "trace", "min-records"});
+  const std::string jsonl = cli.get_string("jsonl", "");
+  const std::string trace = cli.get_string("trace", "");
+  if (jsonl.empty() && trace.empty()) {
+    fail("nothing to validate: pass --jsonl <file> and/or --trace <file>");
+  }
+
+  if (!jsonl.empty()) {
+    const std::size_t records = validate_jsonl(jsonl);
+    const auto min_records =
+        static_cast<std::size_t>(cli.get_int("min-records", 1));
+    if (records < min_records) {
+      fail(jsonl + ": only " + std::to_string(records) + " records, expected"
+           " >= " + std::to_string(min_records));
+    }
+    std::printf("validate_telemetry: %s OK (%zu records)\n", jsonl.c_str(),
+                records);
+  }
+  if (!trace.empty()) validate_trace(trace);
+  return 0;
+}
