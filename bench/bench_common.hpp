@@ -1,17 +1,21 @@
 #pragma once
 // Shared plumbing for the figure/table reproduction benches.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/exec_engine.hpp"
 #include "gpusim/trace.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -55,6 +59,55 @@ inline Format output_format(const util::Cli& cli) {
                               " (expected ascii, csv or json)");
 }
 
+/// Host wall-time summary of repeated runs of one configuration.
+struct WallStats {
+  double min_us = 0.0;
+  double median_us = 0.0;
+  int repeats = 1;
+};
+
+/// Run `fn` under --repeat N semantics: one untimed warmup when N > 1,
+/// then N timed repetitions; reports min and median host wall time. The
+/// benches' *simulated* numbers are deterministic — this measures how
+/// long the simulator itself takes, i.e. the quantity the execution
+/// engine optimizes. `prep()` runs untimed before every `fn()` (warmup
+/// included) — for benches that solve in place and must reset their
+/// inputs between repeats without charging the reset to the kernel.
+template <typename P, typename F>
+WallStats repeat_wall(const util::Cli& cli, P&& prep, F&& fn) {
+  const int repeats =
+      std::max<int>(1, static_cast<int>(cli.get_int("repeat", 1)));
+  if (repeats > 1) {  // warmup: populate scratch pools, page in data
+    prep();
+    fn();
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    prep();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  WallStats out;
+  out.repeats = repeats;
+  out.min_us = samples.front();
+  const std::size_t mid = samples.size() / 2;
+  out.median_us = samples.size() % 2 == 1
+                      ? samples[mid]
+                      : 0.5 * (samples[mid - 1] + samples[mid]);
+  return out;
+}
+
+template <typename F>
+WallStats repeat_wall(const util::Cli& cli, F&& fn) {
+  return repeat_wall(
+      cli, [] {}, std::forward<F>(fn));
+}
+
 /// Print a table in the format the command line selected.
 inline void emit(const util::Table& table, const util::Cli& cli) {
   switch (output_format(cli)) {
@@ -80,7 +133,12 @@ inline void emit(const util::Table& table, const util::Cli& cli) {
 class Telemetry {
  public:
   Telemetry(const util::Cli& cli, std::string bench_name)
-      : bench_(std::move(bench_name)), trace_(bench_) {
+      : bench_(std::move(bench_name)),
+        trace_(bench_),
+        last_record_(std::chrono::steady_clock::now()) {
+    // Every bench funnels through here, so this is the one place the
+    // shared --sim-threads / --instrument flags reach the engine.
+    gpusim::configure_engine_from_cli(cli);
     if (const auto path = cli.get("json")) sink_ = obs::JsonlSink(*path);
     trace_path_ = cli.get_string("trace-json", "");
     metrics_path_ = cli.get_string("metrics-json", "");
@@ -130,6 +188,10 @@ class Telemetry {
     rec["m"] = m;
     rec["n"] = n;
     rec["time_us"] = timeline.total_us();
+    // Host wall time spent producing this record (since the previous one)
+    // — the perf-trajectory signal BENCH_*.json files track. Benches that
+    // measured more precisely (repeat_wall) pass wall_us via `extra`.
+    if (!rec.find("wall_us")) rec["wall_us"] = take_wall_us();
 
     obs::JsonValue& phases = rec["phases"] = obs::JsonValue::object();
     std::map<std::string, double> by_label;
@@ -165,12 +227,33 @@ class Telemetry {
     record(dev, solver, m, n, report.timeline, std::move(extra));
   }
 
+  /// Append a caller-built record verbatim (plus the bench name and a
+  /// wall_us default). For results without a usable timeline — e.g.
+  /// functional_only runs, which have no timing to report. Callers must
+  /// include the schema fields (solver, m, n, time_us) themselves.
+  void record_raw(obs::JsonValue rec) {
+    if (!rec.find("wall_us")) rec["wall_us"] = take_wall_us();
+    if (!sink_.enabled()) return;
+    rec["bench"] = bench_;
+    sink_.write(rec);
+  }
+
  private:
+  /// Microseconds since the previous record (or construction).
+  [[nodiscard]] double take_wall_us() noexcept {
+    const auto now = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(now - last_record_).count();
+    last_record_ = now;
+    return us;
+  }
+
   std::string bench_;
   obs::JsonlSink sink_;
   obs::ChromeTraceBuilder trace_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::chrono::steady_clock::time_point last_record_;
 };
 
 inline std::string us(double v) { return util::Table::num(v, 1); }

@@ -1,0 +1,138 @@
+// Simulator throughput bench: how many simulated blocks per second the
+// execution engine retires on the Fig. 12 hybrid workload (N = 512,
+// double precision), across its fast-path mechanisms:
+//
+//   exact-serial    1 sim thread, every block instrumented — the
+//                   historical gpusim::launch behavior, the baseline
+//   exact-parallel  all sim threads, every block instrumented
+//   sampled         all sim threads, first/last/stride blocks instrumented
+//   functional      all sim threads, no instrumentation (and, by design,
+//                   no timing — recorded without simulated times)
+//
+// Every mode reports identical simulated numbers (ctest pins this:
+// tests/test_sim_engine.cpp); this bench reports how much cheaper they
+// are to produce. Results land in BENCH_sim_throughput.json via --json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "gpusim/exec_engine.hpp"
+
+using namespace tridsolve;
+
+namespace {
+
+struct ModeSpec {
+  const char* name;
+  bool serial;  ///< 1 sim thread instead of the configured pool
+  gpusim::InstrumentMode mode;
+};
+
+constexpr ModeSpec kModes[] = {
+    {"exact-serial", true, gpusim::InstrumentMode::exact},
+    {"exact-parallel", false, gpusim::InstrumentMode::exact},
+    {"sampled", false, gpusim::InstrumentMode::sampled},
+    {"functional", false, gpusim::InstrumentMode::functional_only},
+};
+
+void panel(const gpusim::DeviceSpec& dev, std::size_t m, std::size_t n,
+           const util::Cli& cli, bench::Telemetry& telemetry) {
+  const std::size_t pool_threads = gpusim::ExecutionEngine::instance().threads();
+  util::Table table("Simulator throughput, hybrid M=" + std::to_string(m) +
+                    " N=" + std::to_string(n) + " (double)");
+  table.set_header({"mode", "threads", "wall_min[ms]", "wall_median[ms]",
+                    "blocks/s", "speedup"});
+
+  const auto batch = workloads::make_batch<double>(
+      workloads::Kind::random_dominant, m, n, bench::preferred_layout(m, n),
+      /*seed=*/42);
+  auto scratch = batch.clone();
+  const auto restore = [&] {
+    std::copy(batch.a().begin(), batch.a().end(), scratch.a().begin());
+    std::copy(batch.b().begin(), batch.b().end(), scratch.b().begin());
+    std::copy(batch.c().begin(), batch.c().end(), scratch.c().begin());
+    std::copy(batch.d().begin(), batch.d().end(), scratch.d().begin());
+  };
+
+  auto& registry = obs::MetricsRegistry::instance();
+  double baseline_bps = 0.0;
+  const std::string mode_filter = cli.get_string("modes", "");
+  for (const ModeSpec& spec : kModes) {
+    if (!mode_filter.empty() &&
+        mode_filter.find(spec.name) == std::string::npos) {
+      continue;
+    }
+    const std::size_t threads = spec.serial ? 1 : pool_threads;
+    const gpusim::ScopedSimThreads threads_guard(threads);
+    const gpusim::ScopedInstrumentMode mode_guard(spec.mode);
+
+    const double blocks_before = registry.counter("gpusim.blocks");
+    std::size_t calls = 0;
+    gpu::HybridReport report;
+    const bench::WallStats wall = bench::repeat_wall(cli, restore, [&] {
+      report = gpu::hybrid_solve<double>(dev, scratch);
+      ++calls;
+    });
+    const double blocks_per_solve =
+        (registry.counter("gpusim.blocks") - blocks_before) /
+        static_cast<double>(calls);
+    const double bps = blocks_per_solve / (wall.min_us * 1e-6);
+    if (spec.serial) baseline_bps = bps;
+    const double speedup = baseline_bps > 0.0 ? bps / baseline_bps : 1.0;
+
+    table.add_row({spec.name, std::to_string(threads),
+                   util::Table::num(wall.min_us / 1000.0, 2),
+                   util::Table::num(wall.median_us / 1000.0, 2),
+                   util::Table::num(bps, 0), bench::ratio(speedup)});
+
+    obs::JsonValue extra = obs::JsonValue::object();
+    extra["mode"] = spec.name;
+    extra["instrument"] = gpusim::instrument_mode_name(spec.mode);
+    extra["sim_threads"] = threads;
+    extra["repeats"] = wall.repeats;
+    extra["wall_us"] = wall.min_us;
+    extra["wall_median_us"] = wall.median_us;
+    extra["blocks_per_solve"] = blocks_per_solve;
+    extra["blocks_per_sec"] = bps;
+    extra["speedup_vs_exact_serial"] = speedup;
+    if (spec.mode == gpusim::InstrumentMode::functional_only) {
+      // No simulated timing exists in this mode (that is the point);
+      // record the throughput fields without a timeline.
+      extra["solver"] = "hybrid";
+      extra["m"] = m;
+      extra["n"] = n;
+      extra["time_us"] = 0.0;
+      telemetry.record_raw(std::move(extra));
+    } else {
+      telemetry.record_hybrid(dev, m, n, report, "hybrid", std::move(extra));
+    }
+  }
+  bench::emit(table, cli);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(
+      argc, argv, util::with_obs_flags({"quick", "smoke", "m", "n", "modes"}));
+  const auto dev = gpusim::gtx480();
+  bench::Telemetry telemetry(cli, "sim_throughput");
+
+  std::vector<std::pair<std::size_t, std::size_t>> shapes;
+  if (cli.has("m")) {
+    shapes = {{static_cast<std::size_t>(cli.get_int("m", 1024)),
+               static_cast<std::size_t>(cli.get_int("n", 512))}};
+  } else if (cli.get_bool("smoke", false)) {
+    shapes = {{64, 512}};
+  } else if (cli.get_bool("quick", false)) {
+    shapes = {{1024, 512}};
+  } else {
+    shapes = {{256, 512}, {4096, 512}, {16384, 512}, {65536, 512}};
+  }
+  for (const auto& [m, n] : shapes) panel(dev, m, n, cli, telemetry);
+  return 0;
+}

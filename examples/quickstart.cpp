@@ -13,6 +13,7 @@
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/exec_engine.hpp"
 #include "gpusim/trace.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -28,6 +29,7 @@ using namespace tridsolve;
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv, util::with_obs_flags({"n", "trace"}));
+  gpusim::configure_engine_from_cli(cli);  // --sim-threads / --instrument
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 1000));
 
   // A diagonally dominant random system A x = d.
@@ -81,11 +83,19 @@ int main(int argc, char** argv) {
   std::printf("n = %zu\n", n);
   std::printf("Thomas      : relative residual %.3e\n", r_thomas);
   std::printf("LU (gtsv)   : relative residual %.3e\n", r_lu);
-  std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
-              "systems, %.1f us simulated on %s (PCR share %.0f%%)\n",
-              r_hybrid, report.k, report.reduced_systems, report.total_us(),
-              dev.name.c_str(), 100.0 * report.pcr_fraction());
-  if (cli.get_bool("trace", false)) {
+  if (report.timeline.timed()) {
+    std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
+                "systems, %.1f us simulated on %s (PCR share %.0f%%)\n",
+                r_hybrid, report.k, report.reduced_systems, report.total_us(),
+                dev.name.c_str(), 100.0 * report.pcr_fraction());
+  } else {
+    // --instrument functional: the engine recorded no costs, so there is
+    // no simulated time to report (and total_us() would refuse).
+    std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
+                "systems, functional_only (no simulated timing) on %s\n",
+                r_hybrid, report.k, report.reduced_systems, dev.name.c_str());
+  }
+  if (cli.get_bool("trace", false) && report.timeline.timed()) {
     std::fputs(
         gpusim::timeline_table(dev, report.timeline, "hybrid solve timeline")
             .to_ascii()
@@ -94,8 +104,9 @@ int main(int argc, char** argv) {
   }
 
   // Structured observability outputs (see DESIGN.md "Observability").
+  // Both consume simulated times, so neither exists in functional_only.
   if (const std::string trace_path = cli.get_string("trace-json", "");
-      !trace_path.empty()) {
+      !trace_path.empty() && report.timeline.timed()) {
     obs::ChromeTraceBuilder trace("quickstart");
     trace.add_timeline(dev, report.timeline,
                        "hybrid N=" + std::to_string(n));
@@ -104,7 +115,7 @@ int main(int argc, char** argv) {
                 trace_path.c_str());
   }
   if (const std::string jsonl_path = cli.get_string("json", "");
-      !jsonl_path.empty()) {
+      !jsonl_path.empty() && report.timeline.timed()) {
     obs::JsonlSink sink(jsonl_path);
     obs::JsonValue rec = obs::JsonValue::object();
     rec["bench"] = "quickstart";

@@ -34,7 +34,9 @@ struct AdiOptions {
 
 struct AdiStepReport {
   gpusim::Timeline timeline;
-  [[nodiscard]] double total_us() const noexcept { return timeline.total_us(); }
+  /// Throws std::logic_error when the step ran functional_only — see
+  /// Timeline.
+  [[nodiscard]] double total_us() const { return timeline.total_us(); }
   [[nodiscard]] double solve_us() const { return timeline.time_with_prefix("sweep"); }
   [[nodiscard]] double transpose_us() const {
     return timeline.time_with_prefix("transpose");

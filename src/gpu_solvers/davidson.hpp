@@ -34,7 +34,9 @@ struct DavidsonOptions {
 struct DavidsonReport {
   unsigned global_steps = 0;  ///< stepped-PCR kernel launches
   gpusim::Timeline timeline;
-  [[nodiscard]] double total_us() const noexcept { return timeline.total_us(); }
+  /// Throws std::logic_error when the solve ran functional_only — see
+  /// Timeline.
+  [[nodiscard]] double total_us() const { return timeline.total_us(); }
 };
 
 /// Solve every system of `batch` (contiguous layout) in place; the

@@ -74,6 +74,57 @@ std::vector<tridiag::SystemRef<T>> reduced_system_views(
   return views;
 }
 
+/// Counter handles for the per-solve hot path, resolved once per process
+/// (registry slots are stable across obs resets).
+struct HybridMetrics {
+  obs::MetricsRegistry::Counter solve_time_us =
+      obs::counter_handle("hybrid.solve.time_us");
+  obs::MetricsRegistry::Counter solve_calls =
+      obs::counter_handle("hybrid.solve.calls");
+  obs::MetricsRegistry::Counter solves = obs::counter_handle("hybrid.solves");
+  obs::MetricsRegistry::Counter source_forced =
+      obs::counter_handle("transition.source.forced");
+  obs::MetricsRegistry::Counter source_model =
+      obs::counter_handle("transition.source.model");
+  obs::MetricsRegistry::Counter source_heuristic =
+      obs::counter_handle("transition.source.heuristic");
+  obs::MetricsRegistry::Counter pcr_windows =
+      obs::counter_handle("pcr.windows");
+  obs::MetricsRegistry::Counter pcr_boundaries =
+      obs::counter_handle("pcr.sub_tile_boundaries");
+  obs::MetricsRegistry::Counter pcr_loads_avoided =
+      obs::counter_handle("pcr.redundant_loads_avoided");
+  obs::MetricsRegistry::Counter pcr_elims_avoided =
+      obs::counter_handle("pcr.redundant_elims_avoided");
+  obs::MetricsRegistry::Counter pcr_redundant_loads =
+      obs::counter_handle("pcr.redundant_loads");
+  obs::MetricsRegistry::Counter pcr_eliminations =
+      obs::counter_handle("pcr.eliminations");
+  obs::MetricsRegistry::Counter variant_pthomas_only =
+      obs::counter_handle("hybrid.variant.pthomas_only");
+
+  [[nodiscard]] obs::MetricsRegistry::Counter& variant(WindowVariant v) {
+    switch (v) {
+      case WindowVariant::split_system: return variant_split;
+      case WindowVariant::multi_system_per_block: return variant_multi;
+      default: return variant_one_block;
+    }
+  }
+
+  static HybridMetrics& instance() {
+    static HybridMetrics m;
+    return m;
+  }
+
+ private:
+  obs::MetricsRegistry::Counter variant_one_block =
+      obs::counter_handle("hybrid.variant.one_block_per_system");
+  obs::MetricsRegistry::Counter variant_split =
+      obs::counter_handle("hybrid.variant.split_system");
+  obs::MetricsRegistry::Counter variant_multi =
+      obs::counter_handle("hybrid.variant.multi_system_per_block");
+};
+
 }  // namespace
 
 template <typename T>
@@ -85,20 +136,21 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   const std::size_t n = batch.system_size();
   if (m_count == 0 || n == 0) return report;
 
-  const obs::ScopedTimer host_timer("hybrid.solve");
-  obs::count("hybrid.solves");
+  HybridMetrics& metrics = HybridMetrics::instance();
+  const obs::ScopedTimer host_timer(metrics.solve_time_us, metrics.solve_calls);
+  metrics.solves.add();
 
   // --- 1. transition point -------------------------------------------------
   unsigned k;
   if (opts.force_k >= 0) {
     k = static_cast<unsigned>(opts.force_k);
-    obs::count("transition.source.forced");
+    metrics.source_forced.add();
   } else if (opts.use_cost_model) {
     k = model_best_k(m_count, n, dev);
-    obs::count("transition.source.model");
+    metrics.source_model.add();
   } else {
     k = heuristic_k(m_count, n);
-    obs::count("transition.source.heuristic");
+    metrics.source_heuristic.add();
   }
   report.k = k;
   obs::gauge("transition.k", k);
@@ -163,22 +215,20 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
     report.pcr_shared_bytes = pcr_stats.launch.costs.shared_peak_bytes;
 
     // The paper's redundancy model (Eqs. 8-9), as first-class metrics.
-    obs::count("pcr.windows", static_cast<double>(pcr_stats.windows));
-    obs::count("pcr.sub_tile_boundaries",
-               static_cast<double>(pcr_stats.sub_tile_boundaries));
-    obs::count("pcr.redundant_loads_avoided",
-               static_cast<double>(pcr_stats.halo_loads_avoided));
-    obs::count("pcr.redundant_elims_avoided",
-               static_cast<double>(pcr_stats.redundant_elims_avoided));
-    obs::count("pcr.redundant_loads",
-               static_cast<double>(pcr_stats.redundant_loads()));
-    obs::count("pcr.eliminations",
-               static_cast<double>(pcr_stats.eliminations));
-    obs::count(std::string("hybrid.variant.") +
-               window_variant_name(report.variant));
+    metrics.pcr_windows.add(static_cast<double>(pcr_stats.windows));
+    metrics.pcr_boundaries.add(
+        static_cast<double>(pcr_stats.sub_tile_boundaries));
+    metrics.pcr_loads_avoided.add(
+        static_cast<double>(pcr_stats.halo_loads_avoided));
+    metrics.pcr_elims_avoided.add(
+        static_cast<double>(pcr_stats.redundant_elims_avoided));
+    metrics.pcr_redundant_loads.add(
+        static_cast<double>(pcr_stats.redundant_loads()));
+    metrics.pcr_eliminations.add(static_cast<double>(pcr_stats.eliminations));
+    metrics.variant(report.variant).add();
   } else {
     report.variant = WindowVariant::one_block_per_system;
-    obs::count("hybrid.variant.pthomas_only");
+    metrics.variant_pthomas_only.add();
   }
 
   // --- 3. p-Thomas over the reduced systems ---------------------------------

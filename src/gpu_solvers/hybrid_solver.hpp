@@ -53,7 +53,9 @@ struct HybridReport {
   std::size_t redundant_loads = 0;   ///< halo loads (split_system only)
   std::size_t pcr_shared_bytes = 0;  ///< window footprint per block
 
-  [[nodiscard]] double total_us() const noexcept { return timeline.total_us(); }
+  /// Throws std::logic_error when the solve ran functional_only (no
+  /// recorded costs, hence no meaningful timing) — see Timeline.
+  [[nodiscard]] double total_us() const { return timeline.total_us(); }
   [[nodiscard]] double pcr_us() const { return timeline.time_with_prefix("pcr"); }
   [[nodiscard]] double thomas_us() const {
     return timeline.time_with_prefix("thomas");

@@ -30,7 +30,9 @@ struct PartitionGpuOptions {
 
 struct PartitionGpuReport {
   gpusim::Timeline timeline;
-  [[nodiscard]] double total_us() const noexcept { return timeline.total_us(); }
+  /// Throws std::logic_error when the solve ran functional_only — see
+  /// Timeline.
+  [[nodiscard]] double total_us() const { return timeline.total_us(); }
 };
 
 /// Solve every system of `batch` in place (solution in d).

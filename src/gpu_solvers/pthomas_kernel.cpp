@@ -1,29 +1,45 @@
 #include "gpu_solvers/pthomas_kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace tridsolve::gpu {
 
 namespace {
 
-/// Global thread id -> system index; idle lanes past the end do nothing
-/// (but still occupy warp slots, as on hardware).
-template <typename T, typename F>
-gpusim::LaunchStats launch_per_system(const gpusim::DeviceSpec& dev,
-                                      std::span<const tridiag::SystemRef<T>> systems,
-                                      int block_threads, F&& per_system) {
-  const std::size_t total = systems.size();
-  const std::size_t grid =
-      (total + static_cast<std::size_t>(block_threads) - 1) /
-      static_cast<std::size_t>(block_threads);
-  return gpusim::launch(dev, {grid, block_threads}, [&](gpusim::BlockContext& ctx) {
-    ctx.phase([&](gpusim::ThreadCtx& t) {
-      const std::size_t sid =
-          ctx.block_id() * static_cast<std::size_t>(block_threads) +
-          static_cast<std::size_t>(t.tid());
-      if (sid < total) per_system(t, sid);
-    });
-  });
+// Both sweeps run lockstep (phase_rounds): one round per row, every lane
+// of the block advancing together. That is how the warp executes on
+// hardware, and on the simulator host it pipelines the per-row divide
+// across the block's independent systems and turns the interleaved
+// layout's accesses into contiguous row-major streams. Recorded costs are
+// identical to the per-thread loop form (rounds, addresses and op counts
+// are unchanged); per-thread carries (c', d', x_{i+1}) live in lane
+// arrays instead of registers.
+
+/// Round count and lane count for one block of a thread-per-system grid.
+template <typename T>
+struct BlockLanes {
+  std::size_t base = 0;   ///< first system id of the block
+  std::size_t lanes = 0;  ///< live lanes (idle tail lanes do nothing)
+  std::size_t rounds = 0; ///< max system size across live lanes
+
+  BlockLanes(const gpusim::BlockContext& ctx,
+             std::span<const tridiag::SystemRef<T>> systems, int block_threads) {
+    const std::size_t bt = static_cast<std::size_t>(block_threads);
+    base = ctx.block_id() * bt;
+    lanes = std::min(bt, systems.size() - base);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      rounds = std::max(rounds, systems[base + l].size());
+    }
+  }
+};
+
+template <typename T>
+std::size_t grid_for(std::span<const tridiag::SystemRef<T>> systems,
+                     int block_threads) {
+  return (systems.size() + static_cast<std::size_t>(block_threads) - 1) /
+         static_cast<std::size_t>(block_threads);
 }
 
 }  // namespace
@@ -37,27 +53,53 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
 
   // Forward reduction, in place: c <- c', d <- d'. One serialized memory
   // round per row (the loads of row i gate the elimination row i+1 needs).
-  stats.forward = launch_per_system<T>(
-      dev, systems, block_threads, [&](gpusim::ThreadCtx& t, std::size_t sid) {
-        const tridiag::SystemRef<T>& s = systems[sid];
-        const std::size_t n = s.size();
-        T cp = T(0);
-        T dp = T(0);
-        for (std::size_t i = 0; i < n; ++i) {
+  stats.forward = gpusim::launch(
+      dev, {grid_for(systems, block_threads), block_threads},
+      [&](gpusim::BlockContext& ctx) {
+        const BlockLanes<T> blk(ctx, systems, block_threads);
+        std::vector<T> cp(blk.lanes, T(0));
+        std::vector<T> dp(blk.lanes, T(0));
+        if (!ctx.recording()) {
+          // Non-instrumented blocks (sampled / functional_only): the same
+          // arithmetic in the same order — bit-exact with the recorded
+          // path below, pinned by tests/test_sim_engine.cpp — without the
+          // per-access instrumentation plumbing.
+          for (std::size_t i = 0; i < blk.rounds; ++i) {
+            for (std::size_t lane = 0; lane < blk.lanes; ++lane) {
+              const tridiag::SystemRef<T>& s = systems[blk.base + lane];
+              if (i >= s.size()) continue;
+              const T a = *s.a.ptr(i);
+              const T b = *s.b.ptr(i);
+              const T c = *s.c.ptr(i);
+              const T d = *s.d.ptr(i);
+              const T denom = b - cp[lane] * a;
+              const T inv = T(1) / denom;
+              cp[lane] = c * inv;
+              dp[lane] = (d - dp[lane] * a) * inv;
+              *s.c.ptr(i) = cp[lane];
+              *s.d.ptr(i) = dp[lane];
+            }
+          }
+          return;
+        }
+        ctx.phase_rounds(blk.rounds, [&](gpusim::ThreadCtx& t, std::size_t i) {
+          const std::size_t lane = static_cast<std::size_t>(t.tid());
+          if (lane >= blk.lanes) return;
+          const tridiag::SystemRef<T>& s = systems[blk.base + lane];
+          if (i >= s.size()) return;
           const T a = t.load(s.a.ptr(i));
           const T b = t.load(s.b.ptr(i));
           const T c = t.load(s.c.ptr(i));
           const T d = t.load(s.d.ptr(i));
-          const T denom = b - cp * a;
+          const T denom = b - cp[lane] * a;
           const T inv = T(1) / denom;
-          cp = c * inv;
-          dp = (d - dp * a) * inv;
+          cp[lane] = c * inv;
+          dp[lane] = (d - dp[lane] * a) * inv;
           t.flops<T>(6);
           t.divs<T>(1);
-          t.store(s.c.ptr(i), cp);
-          t.store(s.d.ptr(i), dp);
-          t.end_round();
-        }
+          t.store(s.c.ptr(i), cp[lane]);
+          t.store(s.d.ptr(i), dp[lane]);
+        });
       });
 
   stats.backward = pthomas_backward(dev, systems, xout, block_threads);
@@ -73,27 +115,58 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
     throw std::invalid_argument("pthomas_backward: xout/systems size mismatch");
   }
   // Backward substitution: x_i = d'_i - c'_i x_{i+1}, walking rows from the
-  // end; x_{i+1} stays in a register between iterations.
-  return launch_per_system<T>(
-      dev, systems, block_threads, [&](gpusim::ThreadCtx& t, std::size_t sid) {
-        const tridiag::SystemRef<T>& s = systems[sid];
-        const std::size_t n = s.size();
-        if (n == 0) return;
-        auto x_at = [&](std::size_t i) {
-          return xout.empty() ? s.d.ptr(i) : xout[sid].ptr(i);
-        };
-        T x_next = t.load(s.d.ptr(n - 1));  // x_{n-1} = d'_{n-1}
-        t.store(x_at(n - 1), x_next);
-        t.end_round();
-        for (std::size_t i = n - 1; i-- > 0;) {
+  // end; round r touches row n-1-r, x_{i+1} carries between rounds.
+  return gpusim::launch(
+      dev, {grid_for(systems, block_threads), block_threads},
+      [&](gpusim::BlockContext& ctx) {
+        const BlockLanes<T> blk(ctx, systems, block_threads);
+        std::vector<T> x_next(blk.lanes, T(0));
+        if (!ctx.recording()) {
+          // Bit-exact raw twin of the recorded path below (see forward).
+          for (std::size_t r = 0; r < blk.rounds; ++r) {
+            for (std::size_t lane = 0; lane < blk.lanes; ++lane) {
+              const tridiag::SystemRef<T>& s = systems[blk.base + lane];
+              const std::size_t n = s.size();
+              if (n == 0 || r >= n) continue;
+              T* const xdst = xout.empty() ? s.d.ptr(n - 1 - r)
+                                           : xout[blk.base + lane].ptr(n - 1 - r);
+              if (r == 0) {
+                const T x = *s.d.ptr(n - 1);
+                *xdst = x;
+                x_next[lane] = x;
+                continue;
+              }
+              const std::size_t i = n - 1 - r;
+              const T x = *s.d.ptr(i) - *s.c.ptr(i) * x_next[lane];
+              *xdst = x;
+              x_next[lane] = x;
+            }
+          }
+          return;
+        }
+        ctx.phase_rounds(blk.rounds, [&](gpusim::ThreadCtx& t, std::size_t r) {
+          const std::size_t lane = static_cast<std::size_t>(t.tid());
+          if (lane >= blk.lanes) return;
+          const tridiag::SystemRef<T>& s = systems[blk.base + lane];
+          const std::size_t n = s.size();
+          if (n == 0 || r >= n) return;
+          auto x_at = [&](std::size_t i) {
+            return xout.empty() ? s.d.ptr(i) : xout[blk.base + lane].ptr(i);
+          };
+          if (r == 0) {
+            const T x = t.load(s.d.ptr(n - 1));  // x_{n-1} = d'_{n-1}
+            t.store(x_at(n - 1), x);
+            x_next[lane] = x;
+            return;
+          }
+          const std::size_t i = n - 1 - r;
           const T cp = t.load(s.c.ptr(i));
           const T dp = t.load(s.d.ptr(i));
-          const T x = dp - cp * x_next;
+          const T x = dp - cp * x_next[lane];
           t.flops<T>(2);
           t.store(x_at(i), x);
-          x_next = x;
-          t.end_round();
-        }
+          x_next[lane] = x;
+        });
       });
 }
 

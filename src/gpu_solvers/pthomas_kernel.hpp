@@ -13,6 +13,7 @@
 // The solve is in place: c becomes c', d becomes d' and finally x.
 
 #include <span>
+#include <stdexcept>
 
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launch.hpp"
@@ -27,7 +28,13 @@ namespace tridsolve::gpu {
 struct PthomasStats {
   gpusim::LaunchStats forward;
   gpusim::LaunchStats backward;
-  [[nodiscard]] double total_us() const noexcept {
+  /// Throws std::logic_error for functional_only launches, whose timing
+  /// fields are meaningless.
+  [[nodiscard]] double total_us() const {
+    if (!forward.timed || !backward.timed) {
+      throw std::logic_error(
+          "PthomasStats::total_us: launch ran functional_only");
+    }
     return forward.timing.time_us + backward.timing.time_us;
   }
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gpu_solvers/cr_kernel.hpp"
+#include "gpusim/launch.hpp"
 #include "gpu_solvers/davidson.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/partition_kernel.hpp"
@@ -30,11 +31,29 @@ std::vector<SolverKind> all_solver_kinds() {
           SolverKind::partition};
 }
 
+namespace {
+
+/// Solvers that report a single launch's timing directly (no Timeline)
+/// get the same functional_only protection Timeline::total_us provides.
+void require_timed(const gpusim::LaunchStats& stats) {
+  if (!stats.timed) {
+    throw std::logic_error(
+        "solver ran functional_only (no recorded costs); re-run with "
+        "--instrument exact|sampled for timing");
+  }
+}
+
+}  // namespace
+
 template <typename T>
 SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
-                        const tridiag::SystemBatch<T>& batch) {
+                        const tridiag::SystemBatch<T>& batch,
+                        const SolverRunOptions& run_opts,
+                        tridiag::SystemBatch<T>* solution) {
   SolveOutcome out;
   auto copy = batch.clone();
+  std::optional<gpusim::ScopedInstrumentMode> instrument_guard;
+  if (run_opts.instrument) instrument_guard.emplace(*run_opts.instrument);
   try {
     switch (kind) {
       case SolverKind::hybrid:
@@ -56,6 +75,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
           return out;
         }
         const auto stats = zhang_solve(dev, copy);
+        require_timed(stats);
         out.supported = true;
         out.time_us = stats.timing.time_us;
         out.launches = 1;
@@ -67,6 +87,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
           return out;
         }
         const auto stats = cr_kernel_solve(dev, copy);
+        require_timed(stats);
         out.supported = true;
         out.time_us = stats.timing.time_us;
         out.launches = 1;
@@ -92,12 +113,17 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
     out.supported = false;
     out.detail = e.what();
   }
+  if (out.supported && solution != nullptr) *solution = std::move(copy);
   return out;
 }
 
 template SolveOutcome run_solver<float>(SolverKind, const gpusim::DeviceSpec&,
-                                        const tridiag::SystemBatch<float>&);
+                                        const tridiag::SystemBatch<float>&,
+                                        const SolverRunOptions&,
+                                        tridiag::SystemBatch<float>*);
 template SolveOutcome run_solver<double>(SolverKind, const gpusim::DeviceSpec&,
-                                         const tridiag::SystemBatch<double>&);
+                                         const tridiag::SystemBatch<double>&,
+                                         const SolverRunOptions&,
+                                         tridiag::SystemBatch<double>*);
 
 }  // namespace tridsolve::gpu

@@ -4,10 +4,12 @@
 // handle per-solver applicability (e.g. in-shared methods' size cap)
 // without bespoke glue.
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gpusim/device_spec.hpp"
+#include "gpusim/exec_engine.hpp"
 #include "tridiag/layout.hpp"
 
 namespace tridsolve::gpu {
@@ -33,19 +35,33 @@ struct SolveOutcome {
   std::string detail;         ///< rejection reason or extra info
 };
 
-/// Run `kind` over a fresh copy of `batch` (the input is not modified;
-/// callers that want the solution should use the solver APIs directly).
+/// Per-run knobs threaded through the registry into the launch engine.
+struct SolverRunOptions {
+  /// Instrumentation mode for every launch of the run; empty = engine
+  /// default. functional_only runs report supported = false (no timing).
+  std::optional<gpusim::InstrumentMode> instrument{};
+};
+
+/// Run `kind` over a fresh copy of `batch` (the input is not modified).
 /// Unsupported configurations return supported = false instead of
-/// throwing, so sweeps can tabulate applicability.
+/// throwing, so sweeps can tabulate applicability. When `solution` is
+/// non-null it receives the solved copy (solution in d), letting callers
+/// compare solver outputs without re-running.
 template <typename T>
 SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
-                        const tridiag::SystemBatch<T>& batch);
+                        const tridiag::SystemBatch<T>& batch,
+                        const SolverRunOptions& opts = {},
+                        tridiag::SystemBatch<T>* solution = nullptr);
 
 extern template SolveOutcome run_solver<float>(SolverKind,
                                                const gpusim::DeviceSpec&,
-                                               const tridiag::SystemBatch<float>&);
+                                               const tridiag::SystemBatch<float>&,
+                                               const SolverRunOptions&,
+                                               tridiag::SystemBatch<float>*);
 extern template SolveOutcome run_solver<double>(SolverKind,
                                                 const gpusim::DeviceSpec&,
-                                                const tridiag::SystemBatch<double>&);
+                                                const tridiag::SystemBatch<double>&,
+                                                const SolverRunOptions&,
+                                                tridiag::SystemBatch<double>*);
 
 }  // namespace tridsolve::gpu

@@ -1,6 +1,7 @@
 #include "gpu_solvers/tiled_pcr_kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <vector>
 
@@ -89,6 +90,11 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
     const std::size_t count = std::min(G, work.size() - std::min(work.size(), first));
     if (count == 0 || first >= work.size()) return;
 
+    // Blocks run concurrently; accumulate locally and publish once at
+    // block end (commutative integer adds keep the totals deterministic).
+    std::size_t block_row_loads = 0;
+    std::size_t block_eliminations = 0;
+
     std::vector<Window> win(count);
     std::size_t max_iters = 0;
     for (std::size_t g = 0; g < count; ++g) {
@@ -141,7 +147,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
                                        t.load(wd.w.sys.b.ptr(u)),
                                        t.load(wd.w.sys.c.ptr(u)),
                                        t.load(wd.w.sys.d.ptr(u))};
-              ++stats.row_loads;
+              ++block_row_loads;
             } else {
               wd.buf[0][idx] = identity_srow<T>();
             }
@@ -191,7 +197,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               const std::ptrdiff_t pos =
                   wd.P - (static_cast<std::ptrdiff_t>(span_j) - 1) + idx;
               if (pos >= 0 && pos < static_cast<std::ptrdiff_t>(wd.w.sys.size())) {
-                ++stats.eliminations;
+                ++block_eliminations;
               }
             }
           }
@@ -254,6 +260,11 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
 
       for (auto& wd : win) wd.P += static_cast<std::ptrdiff_t>(S);
     }
+
+    std::atomic_ref<std::size_t>(stats.row_loads)
+        .fetch_add(block_row_loads, std::memory_order_relaxed);
+    std::atomic_ref<std::size_t>(stats.eliminations)
+        .fetch_add(block_eliminations, std::memory_order_relaxed);
   });
 
   return stats;

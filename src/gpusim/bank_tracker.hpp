@@ -14,6 +14,10 @@
 // accesses, which inherently take two passes). This is the effect
 // Göddeke & Strzodka's bank-conflict-free CR layout [10] eliminates; the
 // banks ablation bench measures it on both CR layouts.
+//
+// Like WarpCoalescer, instances are pooled in per-worker scratch:
+// flush() clears group contents but keeps capacity, attach() retargets
+// the cost shard for the next block.
 
 #include <cstdint>
 #include <cstddef>
@@ -28,10 +32,17 @@ class BankTracker {
   BankTracker(int num_banks, int bank_width_bytes, KernelCosts* costs)
       : banks_(num_banks), width_(bank_width_bytes), costs_(costs) {}
 
+  /// Point subsequent recording at a (possibly different) cost shard.
+  /// Requires the previous phase to have been flushed.
+  void attach(KernelCosts* costs) noexcept { costs_ = costs; }
+
   /// Record one access: the `ordinal`-th shared access of the current
   /// lane in this phase.
   void record(std::size_t ordinal, const void* addr, std::size_t size) {
-    if (ordinal >= groups_.size()) groups_.resize(ordinal + 1);
+    if (ordinal >= groups_used_) {
+      groups_used_ = ordinal + 1;
+      if (groups_used_ > groups_.size()) groups_.resize(groups_used_);
+    }
     auto& group = groups_[ordinal];
     const auto first = reinterpret_cast<std::uintptr_t>(addr) / width_;
     const auto last =
@@ -44,8 +55,10 @@ class BankTracker {
   }
 
   /// Phase end: charge each ordinal group's serialization overhead.
+  /// Keeps buffer capacity for reuse by the next phase/block.
   void flush() {
-    for (const auto& group : groups_) {
+    for (std::size_t g = 0; g < groups_used_; ++g) {
+      auto& group = groups_[g];
       std::size_t worst = 0;
       // Count distinct words per bank; small linear scans (<= 64 words).
       for (std::size_t i = 0; i < group.words.size(); ++i) {
@@ -60,8 +73,10 @@ class BankTracker {
       if (worst > baseline) {
         costs_->shared_serializations += worst - baseline;
       }
+      group.words.clear();
+      group.max_size = 0;
     }
-    groups_.clear();
+    groups_used_ = 0;
   }
 
  private:
@@ -81,6 +96,7 @@ class BankTracker {
   std::size_t width_;
   KernelCosts* costs_;
   std::vector<Group> groups_;
+  std::size_t groups_used_ = 0;  // groups_[0..groups_used_) are live
 };
 
 }  // namespace tridsolve::gpusim

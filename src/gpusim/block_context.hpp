@@ -15,9 +15,16 @@
 // Threads of a block run sequentially in tid order; algorithms must be
 // race-free between barriers exactly as on real hardware, and the
 // round-indexed coalescer reconstructs the lockstep warp view.
+//
+// Blocks draw their arena and instrumentation state from a WorkerScratch
+// owned by the executing worker thread, so back-to-back blocks (and
+// launches) reuse warm buffers instead of allocating. A block constructed
+// with record=false executes functionally but skips all cost recording —
+// the sampled/functional_only fast paths of the execution engine.
 
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -31,10 +38,55 @@ namespace tridsolve::gpusim {
 
 class BlockContext;
 
+/// Reusable per-worker execution state: one shared-memory arena plus
+/// pooled per-warp coalescers/bank trackers, all kept warm across blocks
+/// and launches. prepare() rebuilds only when device parameters change.
+struct WorkerScratch {
+  std::unique_ptr<SharedArena> arena;
+  std::vector<WarpCoalescer> coalescers;
+  std::vector<BankTracker> banks;
+  /// Cost sink trackers stay attached to between blocks; never reported.
+  KernelCosts discard;
+
+  void prepare(const DeviceSpec& dev) {
+    if (arena && arena_capacity_ == dev.shared_mem_per_block &&
+        tx_bytes_ == static_cast<std::size_t>(dev.transaction_bytes) &&
+        num_banks_ == dev.shared_banks &&
+        bank_width_ == dev.shared_bank_width) {
+      return;
+    }
+    arena = std::make_unique<SharedArena>(dev.shared_mem_per_block);
+    coalescers.clear();
+    banks.clear();
+    arena_capacity_ = dev.shared_mem_per_block;
+    tx_bytes_ = dev.transaction_bytes;
+    num_banks_ = dev.shared_banks;
+    bank_width_ = dev.shared_bank_width;
+  }
+
+  /// Grow the per-warp tracker pools to at least `num_warps` entries.
+  void ensure_warps(const DeviceSpec& dev, std::size_t num_warps) {
+    if (coalescers.size() >= num_warps) return;
+    coalescers.reserve(num_warps);
+    banks.reserve(num_warps);
+    while (coalescers.size() < num_warps) {
+      coalescers.emplace_back(dev.transaction_bytes, &discard);
+      banks.emplace_back(dev.shared_banks, dev.shared_bank_width, &discard);
+    }
+  }
+
+ private:
+  std::size_t arena_capacity_ = 0;
+  std::size_t tx_bytes_ = 0;
+  int num_banks_ = 0;
+  int bank_width_ = 0;
+};
+
 /// Per-thread handle passed to phase lambdas.
 class ThreadCtx {
  public:
-  ThreadCtx(BlockContext* block, int tid) noexcept : block_(block), tid_(tid) {}
+  ThreadCtx(BlockContext* block, int tid, std::size_t round = 0) noexcept
+      : block_(block), tid_(tid), round_(round) {}
 
   [[nodiscard]] int tid() const noexcept { return tid_; }
 
@@ -78,53 +130,88 @@ class ThreadCtx {
 /// One simulated thread block.
 class BlockContext {
  public:
-  BlockContext(const DeviceSpec& dev, std::size_t block_id, std::size_t grid_blocks,
-               int block_threads, SharedArena& arena, KernelCosts& costs)
+  BlockContext(const DeviceSpec& dev, std::size_t block_id,
+               std::size_t grid_blocks, int block_threads,
+               WorkerScratch& scratch, KernelCosts& costs, bool record = true)
       : dev_(dev),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
         block_threads_(block_threads),
-        arena_(arena),
-        costs_(costs) {
+        scratch_(scratch),
+        costs_(costs),
+        record_(record) {
     assert(block_threads_ > 0);
+    scratch_.prepare(dev_);
+    scratch_.arena->reset();
+    num_warps_ = (static_cast<std::size_t>(block_threads_) + dev_.warp_size - 1) /
+                 dev_.warp_size;
+    if (record_) {
+      scratch_.ensure_warps(dev_, num_warps_);
+      for (std::size_t w = 0; w < num_warps_; ++w) {
+        scratch_.coalescers[w].attach(&costs_);
+        scratch_.banks[w].attach(&costs_);
+      }
+    }
   }
 
   [[nodiscard]] std::size_t block_id() const noexcept { return block_id_; }
   [[nodiscard]] std::size_t grid_blocks() const noexcept { return grid_blocks_; }
   [[nodiscard]] int block_threads() const noexcept { return block_threads_; }
   [[nodiscard]] const DeviceSpec& device() const noexcept { return dev_; }
+  [[nodiscard]] bool recording() const noexcept { return record_; }
 
   /// Allocate shared memory for this block (throws if over capacity).
   template <typename T>
   [[nodiscard]] std::span<T> shared(std::size_t n) {
-    return {arena_.allocate<T>(n), n};
+    return {scratch_.arena->allocate<T>(n), n};
   }
 
   /// Run one barrier-delimited phase: fn(ThreadCtx&) for every tid.
   template <typename F>
   void phase(F&& fn) {
     const int warp = dev_.warp_size;
-    const std::size_t num_warps = (static_cast<std::size_t>(block_threads_) + warp - 1) / warp;
-    if (coalescers_.size() < num_warps) {
-      coalescers_.reserve(num_warps);
-      banks_.reserve(num_warps);
-      while (coalescers_.size() < num_warps) {
-        coalescers_.emplace_back(dev_.transaction_bytes, &costs_);
-        banks_.emplace_back(dev_.shared_banks, dev_.shared_bank_width, &costs_);
-      }
-    }
     for (int tid = 0; tid < block_threads_; ++tid) {
       current_warp_ = static_cast<std::size_t>(tid / warp);
       ThreadCtx t(this, tid);
       fn(t);
     }
-    for (auto& c : coalescers_) {
-      c.flush();
+    if (record_) {
+      for (std::size_t w = 0; w < num_warps_; ++w) {
+        scratch_.coalescers[w].flush();
+        scratch_.banks[w].flush();
+      }
+      ++costs_.barriers;
     }
-    for (auto& b : banks_) {
-      b.flush();
+  }
+
+  /// Run one barrier-delimited phase in *lockstep* (round-major) order:
+  /// fn(ThreadCtx&, r) for every tid at round 0, then every tid at round
+  /// 1, and so on — how the warp actually advances on hardware. The
+  /// recorded costs are identical to the equivalent thread-major phase()
+  /// (the coalescer and op counters are order-independent within a
+  /// round), but independent per-thread dependence chains — the divide of
+  /// a forward sweep — pipeline across lanes, and accesses walk row-major
+  /// (contiguous in an interleaved layout). Per-thread carried state must
+  /// live in caller-managed lane arrays; shared-memory ordinal tracking
+  /// (sload/sstore grouping) restarts each round, so kernels that study
+  /// bank conflicts should keep using phase().
+  template <typename F>
+  void phase_rounds(std::size_t rounds, F&& fn) {
+    const int warp = dev_.warp_size;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (int tid = 0; tid < block_threads_; ++tid) {
+        current_warp_ = static_cast<std::size_t>(tid / warp);
+        ThreadCtx t(this, tid, r);
+        fn(t, r);
+      }
     }
-    ++costs_.barriers;
+    if (record_) {
+      for (std::size_t w = 0; w < num_warps_; ++w) {
+        scratch_.coalescers[w].flush();
+        scratch_.banks[w].flush();
+      }
+      ++costs_.barriers;
+    }
   }
 
   KernelCosts& costs() noexcept { return costs_; }
@@ -134,21 +221,23 @@ class BlockContext {
 
   void record_access(const void* p, std::size_t size, bool is_write,
                      std::size_t round) {
-    coalescers_[current_warp_].record(p, size, is_write, round);
+    if (!record_) return;
+    scratch_.coalescers[current_warp_].record(p, size, is_write, round);
   }
 
   void record_shared(const void* p, std::size_t size, std::size_t ordinal) {
-    banks_[current_warp_].record(ordinal, p, size);
+    if (!record_) return;
+    scratch_.banks[current_warp_].record(ordinal, p, size);
   }
 
   const DeviceSpec& dev_;
   std::size_t block_id_;
   std::size_t grid_blocks_;
   int block_threads_;
-  SharedArena& arena_;
+  WorkerScratch& scratch_;
   KernelCosts& costs_;
-  std::vector<WarpCoalescer> coalescers_;
-  std::vector<BankTracker> banks_;
+  bool record_;
+  std::size_t num_warps_ = 0;
   std::size_t current_warp_ = 0;
 };
 
@@ -178,6 +267,7 @@ void ThreadCtx::sstore(T* p, T v) {
 
 template <typename T>
 void ThreadCtx::flops(double n) {
+  if (!block_->record_) return;
   if constexpr (sizeof(T) == 8) {
     block_->costs_.ops_f64 += n;
   } else {

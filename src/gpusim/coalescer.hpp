@@ -7,6 +7,12 @@
 // pattern allows. The simulator executes threads of a block sequentially,
 // so each warp buffers its rounds' segment sets and flushes once the
 // whole warp has run the phase.
+//
+// Instances live in per-worker scratch and are reused across phases,
+// blocks and launches: flush() retires the round data but keeps every
+// buffer's capacity, and attach() redirects the instance at the next
+// block's cost shard. After warm-up the per-access path allocates only
+// when a round sees more distinct segments than any round before it.
 
 #include <cstdint>
 #include <cstddef>
@@ -21,11 +27,18 @@ class WarpCoalescer {
   WarpCoalescer(std::size_t transaction_bytes, KernelCosts* costs)
       : seg_bytes_(transaction_bytes), costs_(costs) {}
 
+  /// Point subsequent recording at a (possibly different) cost shard.
+  /// Requires the previous phase to have been flushed.
+  void attach(KernelCosts* costs) noexcept { costs_ = costs; }
+
   /// Record an access from the current thread in round `round`. Reads and
   /// writes coalesce separately — a load and a store to the same segment
   /// are two transactions on hardware.
   void record(const void* addr, std::size_t size, bool is_write, std::size_t round) {
-    if (round >= rounds_.size()) rounds_.resize(round + 1);
+    if (round >= rounds_used_) {
+      rounds_used_ = round + 1;
+      if (rounds_used_ > rounds_.size()) rounds_.resize(rounds_used_);
+    }
     auto& segs = is_write ? rounds_[round].writes : rounds_[round].reads;
     const auto first = reinterpret_cast<std::uintptr_t>(addr) / seg_bytes_;
     const auto last = (reinterpret_cast<std::uintptr_t>(addr) + size - 1) / seg_bytes_;
@@ -39,15 +52,20 @@ class WarpCoalescer {
   }
 
   /// Called once per warp after all of its threads finished the phase.
+  /// Keeps buffer capacity for reuse by the next phase/block.
   void flush() {
     std::size_t tx = 0;
-    for (const auto& round : rounds_) tx += round.reads.size() + round.writes.size();
+    for (std::size_t r = 0; r < rounds_used_; ++r) {
+      tx += rounds_[r].reads.size() + rounds_[r].writes.size();
+      rounds_[r].reads.clear();
+      rounds_[r].writes.clear();
+    }
     costs_->transactions += tx;
-    costs_->rounds_total += rounds_.size();
-    rounds_.clear();
+    costs_->rounds_total += rounds_used_;
+    rounds_used_ = 0;
   }
 
-  [[nodiscard]] bool empty() const noexcept { return rounds_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return rounds_used_ == 0; }
 
  private:
   struct Round {
@@ -65,6 +83,7 @@ class WarpCoalescer {
   std::size_t seg_bytes_;
   KernelCosts* costs_;
   std::vector<Round> rounds_;
+  std::size_t rounds_used_ = 0;  // rounds_[0..rounds_used_) are live
 };
 
 }  // namespace tridsolve::gpusim

@@ -1,0 +1,384 @@
+#include "gpusim/exec_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/cli.hpp"
+
+namespace tridsolve::gpusim {
+
+const char* instrument_mode_name(InstrumentMode mode) noexcept {
+  switch (mode) {
+    case InstrumentMode::exact:
+      return "exact";
+    case InstrumentMode::sampled:
+      return "sampled";
+    case InstrumentMode::functional_only:
+      return "functional_only";
+  }
+  return "unknown";
+}
+
+InstrumentMode parse_instrument_mode(std::string_view name) {
+  if (name == "exact") return InstrumentMode::exact;
+  if (name == "sampled") return InstrumentMode::sampled;
+  if (name == "functional" || name == "functional_only") {
+    return InstrumentMode::functional_only;
+  }
+  throw std::invalid_argument("unknown instrument mode \"" + std::string(name) +
+                              "\" (expected exact|sampled|functional_only)");
+}
+
+namespace {
+
+/// Deterministic choice of which blocks record instrumentation, and which
+/// recorded block stands in for each non-recorded one at reduction time.
+/// Sampled plan: blocks {0, stride, 2*stride, ...} plus the last block
+/// (always instrumented exactly — it may be the ragged tail of a batch).
+struct SamplePlan {
+  static constexpr std::size_t npos = ~static_cast<std::size_t>(0);
+
+  InstrumentMode mode = InstrumentMode::exact;
+  std::size_t grid = 0;
+  std::size_t stride = 1;
+  std::size_t strided = 0;   ///< number of on-stride sampled blocks
+  bool tail_extra = false;   ///< grid-1 off-stride, owns an extra slot
+  std::size_t num_slots = 0; ///< recorded blocks (== shard count)
+
+  static SamplePlan make(InstrumentMode mode, std::size_t grid,
+                         std::size_t sample_target) {
+    SamplePlan p;
+    p.mode = mode;
+    p.grid = grid;
+    if (grid == 0) return p;
+    switch (mode) {
+      case InstrumentMode::exact:
+        p.stride = 1;
+        p.strided = grid;
+        p.num_slots = grid;
+        break;
+      case InstrumentMode::sampled:
+        p.stride = std::max<std::size_t>(
+            1, grid / std::max<std::size_t>(1, sample_target));
+        p.strided = (grid - 1) / p.stride + 1;
+        p.tail_extra = (grid - 1) % p.stride != 0;
+        p.num_slots = p.strided + (p.tail_extra ? 1 : 0);
+        break;
+      case InstrumentMode::functional_only:
+        break;
+    }
+    return p;
+  }
+
+  /// Shard index block `b` records into; npos = execute without recording.
+  [[nodiscard]] std::size_t slot_of(std::size_t b) const noexcept {
+    switch (mode) {
+      case InstrumentMode::exact:
+        return b;
+      case InstrumentMode::sampled:
+        if (b + 1 == grid) return tail_extra ? strided : b / stride;
+        return b % stride == 0 ? b / stride : npos;
+      case InstrumentMode::functional_only:
+        return npos;
+    }
+    return npos;
+  }
+
+  /// Shard whose costs stand in for block `b` when scaling to the grid.
+  [[nodiscard]] std::size_t representative_slot(std::size_t b) const noexcept {
+    if (mode == InstrumentMode::exact) return b;
+    if (b + 1 == grid) return tail_extra ? strided : b / stride;
+    return b / stride;
+  }
+
+  /// Block id whose *exact* shard the sampling estimator would use for
+  /// block `b` (exact-mode self-check).
+  [[nodiscard]] std::size_t representative_block(std::size_t b) const noexcept {
+    if (b + 1 == grid) return b;
+    return (b / stride) * stride;
+  }
+};
+
+[[nodiscard]] bool costs_equal(const KernelCosts& a,
+                               const KernelCosts& b) noexcept {
+  return a.ops_f32 == b.ops_f32 && a.ops_f64 == b.ops_f64 &&
+         a.transactions == b.transactions &&
+         a.bytes_requested == b.bytes_requested && a.loads == b.loads &&
+         a.stores == b.stores && a.rounds_total == b.rounds_total &&
+         a.warps == b.warps && a.barriers == b.barriers &&
+         a.shared_accesses == b.shared_accesses &&
+         a.shared_serializations == b.shared_serializations &&
+         a.shared_peak_bytes == b.shared_peak_bytes;
+}
+
+[[nodiscard]] std::size_t default_sim_threads() noexcept {
+  if (const char* env = std::getenv("TRIDSOLVE_SIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+}  // namespace
+
+struct ExecutionEngine::Impl {
+  // --- configuration (guarded by cfg_mu) ---
+  mutable std::mutex cfg_mu;
+  std::size_t threads = default_sim_threads();
+  InstrumentMode default_mode = InstrumentMode::exact;
+  std::size_t sample_target = 16;
+
+  // --- one launch at a time (nested launches are not a thing: kernels
+  // cannot launch kernels in this model) ---
+  std::mutex launch_mu;
+
+  // --- pool state (guarded by mu unless noted) ---
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  std::uint64_t generation = 0;
+  std::size_t active = 0;
+  bool shutdown = false;
+
+  // Per-participant scratch; index 0 is the main (launching) thread,
+  // worker i uses scratch[i + 1]. Only grown between launches.
+  std::vector<std::unique_ptr<WorkerScratch>> scratch;
+
+  // --- current job (written before the generation bump, read-only while
+  // workers run; slots shards are disjoint per block) ---
+  const detail::LaunchRequest* job = nullptr;
+  const SamplePlan* plan = nullptr;
+  std::vector<KernelCosts> slots;  // reused: assign() keeps capacity
+  std::size_t participants = 1;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next_block{0};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  Impl() { scratch.push_back(std::make_unique<WorkerScratch>()); }
+
+  void ensure_workers(std::size_t n) {
+    while (workers.size() < n) {
+      scratch.push_back(std::make_unique<WorkerScratch>());
+      const std::size_t idx = workers.size();
+      std::uint64_t seen;
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        seen = generation;
+      }
+      workers.emplace_back([this, idx, seen] { worker_loop(idx, seen); });
+    }
+  }
+
+  void worker_loop(std::size_t idx, std::uint64_t seen) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        work_cv.wait(lk, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      run_blocks(idx + 1);
+      {
+        const std::lock_guard<std::mutex> lk(mu);
+        if (--active == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  /// Grab chunks of blocks until the grid is drained. Exceptions from
+  /// kernel bodies are captured (first wins) and abort the launch.
+  void run_blocks(std::size_t scratch_idx) noexcept {
+    if (scratch_idx >= participants) return;
+    try {
+      WorkerScratch& ws = *scratch[scratch_idx];
+      const detail::LaunchRequest& req = *job;
+      const SamplePlan& pl = *plan;
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        const std::size_t begin =
+            next_block.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= req.grid_blocks) return;
+        const std::size_t end = std::min(begin + chunk, req.grid_blocks);
+        for (std::size_t b = begin; b < end; ++b) {
+          const std::size_t slot = pl.slot_of(b);
+          const bool record = slot != SamplePlan::npos;
+          BlockContext ctx(*req.dev, b, req.grid_blocks, req.block_threads,
+                           ws, record ? slots[slot] : ws.discard, record);
+          req.body(req.user, ctx);
+          if (record) slots[slot].shared_peak_bytes = ws.arena->block_peak();
+        }
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      abort.store(true, std::memory_order_relaxed);
+    }
+  }
+};
+
+ExecutionEngine& ExecutionEngine::instance() {
+  static ExecutionEngine engine;
+  return engine;
+}
+
+ExecutionEngine::ExecutionEngine() : impl_(new Impl) {}
+
+ExecutionEngine::~ExecutionEngine() {
+  {
+    const std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+std::size_t ExecutionEngine::threads() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->threads;
+}
+
+void ExecutionEngine::set_threads(std::size_t n) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->threads = n == 0 ? default_sim_threads() : n;
+}
+
+InstrumentMode ExecutionEngine::default_instrument() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->default_mode;
+}
+
+void ExecutionEngine::set_default_instrument(InstrumentMode mode) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->default_mode = mode;
+}
+
+std::size_t ExecutionEngine::sample_target() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->sample_target;
+}
+
+void configure_engine_from_cli(const util::Cli& cli) {
+  ExecutionEngine& engine = ExecutionEngine::instance();
+  if (cli.get("sim-threads")) {
+    const auto n = cli.get_int("sim-threads", 0);
+    if (n < 0) {
+      throw std::invalid_argument("--sim-threads must be >= 0 (0 = default)");
+    }
+    engine.set_threads(static_cast<std::size_t>(n));
+  }
+  if (const auto mode = cli.get("instrument")) {
+    engine.set_default_instrument(parse_instrument_mode(*mode));
+  }
+}
+
+namespace detail {
+
+LaunchOutcome execute_grid(const LaunchRequest& req) {
+  ExecutionEngine& engine = ExecutionEngine::instance();
+  ExecutionEngine::Impl& im = *engine.impl_;
+  const std::lock_guard<std::mutex> launch_lock(im.launch_mu);
+
+  const SamplePlan plan =
+      SamplePlan::make(req.mode, req.grid_blocks, engine.sample_target());
+  im.slots.assign(plan.num_slots, KernelCosts{});
+  im.job = &req;
+  im.plan = &plan;
+  im.participants =
+      std::min(engine.threads(), std::max<std::size_t>(req.grid_blocks, 1));
+  im.chunk = std::max<std::size_t>(
+      1, req.grid_blocks / (std::max<std::size_t>(im.participants, 1) * 8));
+  im.next_block.store(0, std::memory_order_relaxed);
+  im.abort.store(false, std::memory_order_relaxed);
+  im.first_error = nullptr;
+
+  if (im.participants <= 1) {
+    im.run_blocks(0);
+  } else {
+    im.ensure_workers(im.participants - 1);
+    {
+      const std::lock_guard<std::mutex> lk(im.mu);
+      im.active = im.workers.size();
+      ++im.generation;
+    }
+    im.work_cv.notify_all();
+    im.run_blocks(0);
+    std::unique_lock<std::mutex> lk(im.mu);
+    im.done_cv.wait(lk, [&] { return im.active == 0; });
+  }
+  im.job = nullptr;
+  im.plan = nullptr;
+  if (im.first_error) std::rethrow_exception(im.first_error);
+
+  LaunchOutcome out;
+  if (req.mode == InstrumentMode::functional_only) return out;
+
+  // Deterministic reduction: merge per-block shards in block order. All
+  // floating-point shard entries are sums of exactly-representable small
+  // values, so the result is independent of worker count and identical to
+  // the historical serial accumulation.
+  for (std::size_t b = 0; b < req.grid_blocks; ++b) {
+    out.costs.merge(im.slots[plan.representative_slot(b)]);
+  }
+  out.instrumented_blocks = plan.num_slots;
+
+  // Exact mode doubles as the sampling estimator's ground-truth check:
+  // with every block's shard on hand, compute what `sampled` would have
+  // reported and verify it matches bit-for-bit.
+  if (req.mode == InstrumentMode::exact && req.grid_blocks > 1) {
+    static auto checks = obs::counter_handle("gpusim.sampling.checks");
+    static auto mismatches = obs::counter_handle("gpusim.sampling.mismatches");
+    const SamplePlan probe = SamplePlan::make(
+        InstrumentMode::sampled, req.grid_blocks, engine.sample_target());
+    KernelCosts estimate;
+    for (std::size_t b = 0; b < req.grid_blocks; ++b) {
+      estimate.merge(im.slots[probe.representative_block(b)]);
+    }
+    checks.add();
+    if (!costs_equal(estimate, out.costs)) mismatches.add();
+  }
+  return out;
+}
+
+void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
+                 double overhead_us, const KernelCosts& costs) noexcept {
+  static auto launches = obs::counter_handle("gpusim.launches");
+  static auto blocks = obs::counter_handle("gpusim.blocks");
+  static auto kernel = obs::counter_handle("gpusim.kernel_us");
+  static auto overhead = obs::counter_handle("gpusim.overhead_us");
+  static auto transactions = obs::counter_handle("gpusim.transactions");
+  static auto bytes = obs::counter_handle("gpusim.bytes_requested");
+  static auto barriers = obs::counter_handle("gpusim.barriers");
+  launches.add();
+  blocks.add(static_cast<double>(grid_blocks));
+  if (timed) {
+    kernel.add(kernel_us);
+    overhead.add(overhead_us);
+    transactions.add(static_cast<double>(costs.transactions));
+    bytes.add(static_cast<double>(costs.bytes_requested));
+    barriers.add(static_cast<double>(costs.barriers));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace tridsolve::gpusim

@@ -1,0 +1,156 @@
+#pragma once
+// Fast-path execution engine behind gpusim::launch.
+//
+// Grid blocks of a simulated kernel are independent by construction (the
+// functional model has no inter-block communication), so the engine
+// executes them on a persistent std::thread pool with per-worker
+// WorkerScratch (arena + pooled coalescers/bank trackers). Costs are
+// recorded into per-block shards and reduced *in block order*, which
+// makes every reported number independent of the worker count and the
+// (nondeterministic) block→worker assignment: all double-valued op
+// counters are sums of small exactly-representable values, so any
+// association of the same per-block sums is bit-identical.
+//
+// Instrumentation level is selected per launch (InstrumentMode):
+//   exact           every block records; per-launch self-check verifies
+//                   the sampling estimator against ground truth
+//   sampled         only a deterministic subset of blocks (first, last,
+//                   stride sample) records; recorded costs are scaled to
+//                   the full grid via representative blocks. Valid for
+//                   block-homogeneous kernels (all batched solvers here);
+//                   outputs remain bit-exact because *all* blocks still
+//                   execute functionally.
+//   functional_only no recording at all; the launch refuses to report
+//                   timing (LaunchStats.timed == false).
+//
+// Thread count comes from --sim-threads / TRIDSOLVE_SIM_THREADS (default
+// hardware_concurrency); the main thread always participates, so 1 means
+// fully serial with zero pool traffic.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "gpusim/block_context.hpp"
+#include "gpusim/costs.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace tridsolve::util {
+class Cli;
+}
+
+namespace tridsolve::gpusim {
+
+enum class InstrumentMode {
+  exact,            ///< every block records (ground truth + self-check)
+  sampled,          ///< deterministic block subset records, scaled to grid
+  functional_only,  ///< no recording; timing unavailable
+};
+
+[[nodiscard]] const char* instrument_mode_name(InstrumentMode mode) noexcept;
+
+/// Parse "exact" / "sampled" / "functional" / "functional_only".
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] InstrumentMode parse_instrument_mode(std::string_view name);
+
+namespace detail {
+
+/// Type-erased block body: `user` is the address of the caller's callable.
+using BlockBody = void (*)(void* user, BlockContext& ctx);
+
+struct LaunchRequest {
+  const DeviceSpec* dev = nullptr;
+  std::size_t grid_blocks = 0;
+  int block_threads = 0;
+  InstrumentMode mode = InstrumentMode::exact;
+  BlockBody body = nullptr;
+  void* user = nullptr;
+};
+
+struct LaunchOutcome {
+  KernelCosts costs;                    ///< grid-scaled totals (empty when
+                                        ///< functional_only)
+  std::size_t instrumented_blocks = 0;  ///< blocks that actually recorded
+};
+
+/// Execute every block of the grid (parallel, pooled scratch) and reduce
+/// costs deterministically. Exceptions thrown by kernel bodies propagate
+/// with their original type (first one wins under parallel execution).
+[[nodiscard]] LaunchOutcome execute_grid(const LaunchRequest& req);
+
+/// Per-launch metric bookkeeping (cached counter handles; no string
+/// hashing per launch). `timed` mirrors LaunchStats::timed.
+void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
+                 double overhead_us, const KernelCosts& costs) noexcept;
+
+}  // namespace detail
+
+/// Process-wide engine configuration + worker pool.
+class ExecutionEngine {
+ public:
+  [[nodiscard]] static ExecutionEngine& instance();
+
+  /// Simulation threads used per launch (>= 1, main thread included).
+  [[nodiscard]] std::size_t threads() const noexcept;
+  /// 0 restores the default (TRIDSOLVE_SIM_THREADS or hardware_concurrency).
+  void set_threads(std::size_t n) noexcept;
+
+  [[nodiscard]] InstrumentMode default_instrument() const noexcept;
+  void set_default_instrument(InstrumentMode mode) noexcept;
+
+  /// Approximate number of blocks the sampled mode instruments per launch
+  /// (first/last/stride plan; small grids degenerate to exact coverage).
+  [[nodiscard]] std::size_t sample_target() const noexcept;
+
+  ~ExecutionEngine();
+
+ private:
+  friend detail::LaunchOutcome detail::execute_grid(
+      const detail::LaunchRequest& req);
+
+  ExecutionEngine();
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII override of the engine's thread count (tests, benches).
+class ScopedSimThreads {
+ public:
+  explicit ScopedSimThreads(std::size_t n)
+      : prev_(ExecutionEngine::instance().threads()) {
+    ExecutionEngine::instance().set_threads(n);
+  }
+  ~ScopedSimThreads() { ExecutionEngine::instance().set_threads(prev_); }
+  ScopedSimThreads(const ScopedSimThreads&) = delete;
+  ScopedSimThreads& operator=(const ScopedSimThreads&) = delete;
+
+ private:
+  std::size_t prev_;
+};
+
+/// RAII override of the default instrumentation mode.
+class ScopedInstrumentMode {
+ public:
+  explicit ScopedInstrumentMode(InstrumentMode mode)
+      : prev_(ExecutionEngine::instance().default_instrument()) {
+    ExecutionEngine::instance().set_default_instrument(mode);
+  }
+  ~ScopedInstrumentMode() {
+    ExecutionEngine::instance().set_default_instrument(prev_);
+  }
+  ScopedInstrumentMode(const ScopedInstrumentMode&) = delete;
+  ScopedInstrumentMode& operator=(const ScopedInstrumentMode&) = delete;
+
+ private:
+  InstrumentMode prev_;
+};
+
+/// Apply --sim-threads / --instrument flags (when present) to the engine.
+/// Benches call this once after parsing; flags come from
+/// util::with_obs_flags.
+void configure_engine_from_cli(const util::Cli& cli);
+
+}  // namespace tridsolve::gpusim

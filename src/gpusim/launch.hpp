@@ -1,15 +1,21 @@
 #pragma once
-// Kernel launch engine: executes every block of a grid functionally,
-// aggregates costs, and prices the launch with the timing model.
+// Kernel launch front-end: validates the configuration, hands the grid to
+// the execution engine (parallel blocks, pooled scratch, instrumentation
+// sampling — see exec_engine.hpp), and prices the launch with the timing
+// model.
 
 #include <cstddef>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "gpusim/block_context.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/exec_engine.hpp"
 #include "gpusim/timing_model.hpp"
 #include "obs/metrics.hpp"
 
@@ -18,6 +24,9 @@ namespace tridsolve::gpusim {
 struct LaunchConfig {
   std::size_t grid_blocks = 1;
   int block_threads = 1;
+  /// Per-launch instrumentation override; empty = the engine's default
+  /// (exact unless --instrument / ScopedInstrumentMode says otherwise).
+  std::optional<InstrumentMode> instrument{};
 };
 
 /// Result of one simulated launch.
@@ -25,6 +34,13 @@ struct LaunchStats {
   LaunchConfig config;
   KernelCosts costs;
   KernelTiming timing;
+  /// False iff the launch ran functional_only: outputs are valid but no
+  /// costs were recorded, so the timing fields are meaningless and
+  /// Timeline refuses to total them.
+  bool timed = true;
+  /// Blocks that recorded instrumentation (grid size in exact mode, the
+  /// sample size in sampled mode, 0 in functional_only).
+  std::size_t instrumented_blocks = 0;
 };
 
 /// Execute `body(BlockContext&)` for every block of the grid.
@@ -36,35 +52,41 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
     throw std::invalid_argument("launch: invalid block size " +
                                 std::to_string(cfg.block_threads));
   }
+  const InstrumentMode mode = cfg.instrument
+                                  ? *cfg.instrument
+                                  : ExecutionEngine::instance().default_instrument();
+
+  using Fn = std::remove_reference_t<KernelFn>;
+  detail::LaunchRequest req;
+  req.dev = &dev;
+  req.grid_blocks = cfg.grid_blocks;
+  req.block_threads = cfg.block_threads;
+  req.mode = mode;
+  req.user = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
+  req.body = [](void* user, BlockContext& ctx) {
+    (*static_cast<Fn*>(user))(ctx);
+  };
+  const detail::LaunchOutcome outcome = detail::execute_grid(req);
+
   LaunchStats stats;
   stats.config = cfg;
-
-  SharedArena arena(dev.shared_mem_per_block);
-  for (std::size_t b = 0; b < cfg.grid_blocks; ++b) {
-    arena.reset();
-    BlockContext ctx(dev, b, cfg.grid_blocks, cfg.block_threads, arena,
-                     stats.costs);
-    body(ctx);
+  stats.costs = outcome.costs;
+  stats.instrumented_blocks = outcome.instrumented_blocks;
+  stats.timed = mode != InstrumentMode::functional_only;
+  if (stats.timed) {
+    const int warps_per_block =
+        (cfg.block_threads + dev.warp_size - 1) / dev.warp_size;
+    stats.costs.warps =
+        cfg.grid_blocks * static_cast<std::size_t>(warps_per_block);
+    stats.timing = predict_kernel_time(dev, cfg.grid_blocks, cfg.block_threads,
+                                       stats.costs);
+    if (!stats.timing.occupancy.launchable()) {
+      throw std::invalid_argument("launch: kernel not launchable (" +
+                                  stats.timing.occupancy.limiter + " limit)");
+    }
   }
-
-  const int warps_per_block =
-      (cfg.block_threads + dev.warp_size - 1) / dev.warp_size;
-  stats.costs.warps = cfg.grid_blocks * static_cast<std::size_t>(warps_per_block);
-  stats.costs.shared_peak_bytes = arena.peak();
-
-  stats.timing =
-      predict_kernel_time(dev, cfg.grid_blocks, cfg.block_threads, stats.costs);
-  if (!stats.timing.occupancy.launchable()) {
-    throw std::invalid_argument("launch: kernel not launchable (" +
-                                stats.timing.occupancy.limiter + " limit)");
-  }
-  obs::count("gpusim.launches");
-  obs::count("gpusim.kernel_us", stats.timing.time_us);
-  obs::count("gpusim.overhead_us", stats.timing.overhead_us);
-  obs::count("gpusim.transactions", static_cast<double>(stats.costs.transactions));
-  obs::count("gpusim.bytes_requested",
-             static_cast<double>(stats.costs.bytes_requested));
-  obs::count("gpusim.barriers", static_cast<double>(stats.costs.barriers));
+  detail::note_launch(cfg.grid_blocks, stats.timed, stats.timing.time_us,
+                      stats.timing.overhead_us, stats.costs);
   return stats;
 }
 
@@ -81,6 +103,7 @@ class Timeline {
 
   void add(std::string label, const LaunchStats& stats) {
     total_us_ += stats.timing.time_us;
+    if (!stats.timed) ++untimed_segments_;
     segments_.push_back({std::move(label), stats, SegmentKind::kernel});
   }
 
@@ -93,7 +116,12 @@ class Timeline {
     segments_.push_back({std::move(label), s, SegmentKind::host});
   }
 
-  [[nodiscard]] double total_us() const noexcept { return total_us_; }
+  /// Total simulated time. Throws std::logic_error when any segment ran
+  /// functional_only — such a timeline has no meaningful timing to report.
+  [[nodiscard]] double total_us() const {
+    require_timed();
+    return total_us_;
+  }
 
   struct Segment {
     std::string label;
@@ -108,8 +136,13 @@ class Timeline {
     return segments_;
   }
 
+  /// True iff every segment carries valid timing.
+  [[nodiscard]] bool timed() const noexcept { return untimed_segments_ == 0; }
+
   /// Total time of all segments whose label starts with `prefix`.
+  /// Throws std::logic_error when the timeline holds untimed segments.
   [[nodiscard]] double time_with_prefix(const std::string& prefix) const {
+    require_timed();
     double sum = 0.0;
     for (const auto& seg : segments_) {
       if (seg.label.rfind(prefix, 0) == 0) sum += seg.stats.timing.time_us;
@@ -118,7 +151,18 @@ class Timeline {
   }
 
  private:
+  void require_timed() const {
+    if (untimed_segments_ > 0) {
+      throw std::logic_error(
+          "Timeline: timing requested but " +
+          std::to_string(untimed_segments_) +
+          " segment(s) executed functional_only (no recorded costs); "
+          "re-run with --instrument exact|sampled for timing");
+    }
+  }
+
   double total_us_ = 0.0;
+  std::size_t untimed_segments_ = 0;
   std::vector<Segment> segments_;
 };
 

@@ -33,14 +33,24 @@ class SharedArena {
     }
     used_ = end;
     if (used_ > peak_) peak_ = used_;
+    if (used_ > block_peak_) block_peak_ = used_;
     return reinterpret_cast<T*>(storage_.data() + offset);
   }
 
-  /// Release all allocations (block retirement); the peak survives.
-  void reset() noexcept { used_ = 0; }
+  /// Release all allocations (block retirement); the lifetime peak
+  /// survives, while the per-block peak restarts for the next block.
+  void reset() noexcept {
+    used_ = 0;
+    block_peak_ = 0;
+  }
 
   [[nodiscard]] std::size_t used() const noexcept { return used_; }
   [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  /// High-water mark since the last reset() — the footprint of the block
+  /// currently (or most recently) executing on this arena. The launch
+  /// engine max-reduces this across blocks into shared_peak_bytes, so
+  /// arena reuse across blocks and workers never conflates footprints.
+  [[nodiscard]] std::size_t block_peak() const noexcept { return block_peak_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -48,6 +58,7 @@ class SharedArena {
   std::size_t capacity_;
   std::size_t used_ = 0;
   std::size_t peak_ = 0;
+  std::size_t block_peak_ = 0;
 };
 
 }  // namespace tridsolve::gpusim

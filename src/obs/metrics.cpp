@@ -7,17 +7,19 @@ MetricsRegistry& MetricsRegistry::instance() noexcept {
   return registry;
 }
 
-void MetricsRegistry::add(std::string_view name, double delta) noexcept {
+MetricsRegistry::Counter MetricsRegistry::handle(
+    std::string_view name) noexcept {
   try {
     const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = counters_.find(name);
-    if (it != counters_.end()) {
-      it->second += delta;
-    } else {
-      counters_.emplace(std::string(name), delta);
-    }
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) return Counter(it->second);
+    Slot& slot = slots_.emplace_back();
+    slot.name = std::string(name);
+    by_name_.emplace(slot.name, &slot);
+    return Counter(&slot);
   } catch (...) {
     // Drop the sample rather than propagate from instrumentation.
+    return Counter();
   }
 }
 
@@ -34,10 +36,16 @@ void MetricsRegistry::set(std::string_view name, double value) noexcept {
   }
 }
 
-double MetricsRegistry::counter(std::string_view name) const noexcept {
+const MetricsRegistry::Slot* MetricsRegistry::find_slot(
+    std::string_view name) const noexcept {
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0.0 : it->second;
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+double MetricsRegistry::counter(std::string_view name) const noexcept {
+  const Slot* slot = find_slot(name);
+  return slot ? slot->value.load(std::memory_order_relaxed) : 0.0;
 }
 
 double MetricsRegistry::gauge(std::string_view name) const noexcept {
@@ -47,8 +55,8 @@ double MetricsRegistry::gauge(std::string_view name) const noexcept {
 }
 
 bool MetricsRegistry::has_counter(std::string_view name) const noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return counters_.find(name) != counters_.end();
+  const Slot* slot = find_slot(name);
+  return slot != nullptr && slot->touched.load(std::memory_order_relaxed);
 }
 
 bool MetricsRegistry::has_gauge(std::string_view name) const noexcept {
@@ -58,7 +66,13 @@ bool MetricsRegistry::has_gauge(std::string_view name) const noexcept {
 
 std::map<std::string, double> MetricsRegistry::counters() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return {counters_.begin(), counters_.end()};
+  std::map<std::string, double> out;
+  for (const Slot& slot : slots_) {
+    if (slot.touched.load(std::memory_order_relaxed)) {
+      out.emplace(slot.name, slot.value.load(std::memory_order_relaxed));
+    }
+  }
+  return out;
 }
 
 std::map<std::string, double> MetricsRegistry::gauges() const {
@@ -77,7 +91,10 @@ JsonValue MetricsRegistry::to_json() const {
 
 void MetricsRegistry::reset() noexcept {
   const std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
+  for (Slot& slot : slots_) {
+    slot.value.store(0.0, std::memory_order_relaxed);
+    slot.touched.store(false, std::memory_order_relaxed);
+  }
   gauges_.clear();
 }
 

@@ -8,11 +8,20 @@
 // Tests and the bench telemetry sink read the registry back; `to_json`
 // dumps the whole state for --metrics-json.
 //
+// Hot paths (the simulated-launch engine, per-solve accounting) use
+// *metric handles*: `Counter h = obs::counter("gpusim.launches")` resolves
+// the name once, and `h.add()` is a lock-free atomic add on a stable slot
+// — no string hashing or map lookup per event. The string API
+// (`obs::count`) remains as a thin wrapper that resolves a handle per
+// call, so cold paths and tests stay ergonomic.
+//
 // All mutation paths are noexcept so instrumentation can live inside
 // noexcept solver code: an allocation failure drops the sample instead of
 // terminating the process.
 
+#include <atomic>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string>
@@ -24,6 +33,42 @@ namespace tridsolve::obs {
 
 class MetricsRegistry {
  public:
+  /// Stable storage cell for one named counter. Slots are created once and
+  /// never move or disappear (reset() zeroes them), so handles stay valid
+  /// for the process lifetime.
+  struct Slot {
+    std::string name;
+    std::atomic<double> value{0.0};
+    std::atomic<bool> touched{false};
+  };
+
+  /// Cheap copyable handle to one counter slot: add() is an atomic
+  /// read-modify-write with no locking and no string handling.
+  class Counter {
+   public:
+    Counter() = default;
+
+    void add(double delta = 1.0) const noexcept {
+      if (!slot_) return;
+      slot_->touched.store(true, std::memory_order_relaxed);
+      double cur = slot_->value.load(std::memory_order_relaxed);
+      while (!slot_->value.compare_exchange_weak(cur, cur + delta,
+                                                 std::memory_order_relaxed)) {
+      }
+    }
+
+    [[nodiscard]] double value() const noexcept {
+      return slot_ ? slot_->value.load(std::memory_order_relaxed) : 0.0;
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return slot_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(Slot* s) noexcept : slot_(s) {}
+    Slot* slot_ = nullptr;
+  };
+
   /// The process-wide registry (benches, examples and tests share it).
   [[nodiscard]] static MetricsRegistry& instance() noexcept;
 
@@ -31,8 +76,14 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  /// Resolve (creating on first use) the handle for counter `name`.
+  /// Returns an invalid handle only if slot allocation fails.
+  [[nodiscard]] Counter handle(std::string_view name) noexcept;
+
   /// Add `delta` to counter `name` (created at zero on first use).
-  void add(std::string_view name, double delta = 1.0) noexcept;
+  void add(std::string_view name, double delta = 1.0) noexcept {
+    handle(name).add(delta);
+  }
 
   /// Set gauge `name` to `value`.
   void set(std::string_view name, double value) noexcept;
@@ -53,11 +104,15 @@ class MetricsRegistry {
   [[nodiscard]] JsonValue to_json() const;
 
   /// Drop every counter and gauge (tests isolate themselves with this).
+  /// Handles stay valid: their slots are zeroed, not destroyed.
   void reset() noexcept;
 
  private:
+  [[nodiscard]] const Slot* find_slot(std::string_view name) const noexcept;
+
   mutable std::mutex mu_;
-  std::map<std::string, double, std::less<>> counters_;
+  std::deque<Slot> slots_;  // deque: stable addresses as slots are added
+  std::map<std::string, Slot*, std::less<>> by_name_;
   std::map<std::string, double, std::less<>> gauges_;
 };
 
@@ -68,31 +123,41 @@ inline void count(std::string_view name, double delta = 1.0) noexcept {
 inline void gauge(std::string_view name, double value) noexcept {
   MetricsRegistry::instance().set(name, value);
 }
+/// Resolve a cached counter handle (do this once at a registration site,
+/// not per event).
+[[nodiscard]] inline MetricsRegistry::Counter counter_handle(
+    std::string_view name) noexcept {
+  return MetricsRegistry::instance().handle(name);
+}
 
 /// RAII wall-clock timer: on destruction adds the elapsed microseconds to
 /// counter "<name>.time_us" and bumps "<name>.calls". Measures *host*
-/// orchestration time, complementing the simulated GPU timeline.
+/// orchestration time, complementing the simulated GPU timeline. The
+/// handle constructor avoids all per-call string work for hot call sites.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(std::string name) noexcept
-      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(const std::string& name) noexcept
+      : ScopedTimer(counter_handle(name + ".time_us"),
+                    counter_handle(name + ".calls")) {}
+
+  ScopedTimer(MetricsRegistry::Counter time_us,
+              MetricsRegistry::Counter calls) noexcept
+      : time_us_(time_us),
+        calls_(calls),
+        start_(std::chrono::steady_clock::now()) {}
+
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
   ~ScopedTimer() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
-    const double us =
-        std::chrono::duration<double, std::micro>(elapsed).count();
-    try {
-      count(name_ + ".time_us", us);
-      count(name_ + ".calls");
-    } catch (...) {
-      // Instrumentation must never take the process down.
-    }
+    time_us_.add(std::chrono::duration<double, std::micro>(elapsed).count());
+    calls_.add();
   }
 
  private:
-  std::string name_;
+  MetricsRegistry::Counter time_us_;
+  MetricsRegistry::Counter calls_;
   std::chrono::steady_clock::time_point start_;
 };
 

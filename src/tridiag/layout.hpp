@@ -92,9 +92,10 @@ class SystemBatch {
 /// cost the hybrid avoids by producing interleaved output in place).
 template <typename T>
 [[nodiscard]] SystemBatch<T> convert_layout(const SystemBatch<T>& in, Layout to) {
-  obs::count("layout.conversions");
-  obs::count("layout.rows_converted",
-             static_cast<double>(in.num_systems() * in.system_size()));
+  static const auto conversions = obs::counter_handle("layout.conversions");
+  static const auto rows = obs::counter_handle("layout.rows_converted");
+  conversions.add();
+  rows.add(static_cast<double>(in.num_systems() * in.system_size()));
   SystemBatch<T> out(in.num_systems(), in.system_size(), to);
   for (std::size_t m = 0; m < in.num_systems(); ++m) {
     for (std::size_t i = 0; i < in.system_size(); ++i) {

@@ -45,6 +45,9 @@ class Cli {
 ///   --metrics-json <path> dump the metrics registry at exit
 ///   --format {ascii,csv,json}  table output format
 ///   --csv                 legacy alias for --format csv
+///   --sim-threads N       simulator worker threads (0 = default)
+///   --instrument MODE     exact | sampled | functional_only
+///   --repeat N            repetitions per configuration (with warmup)
 /// Returns `flags` with those names appended, for the Cli constructor.
 [[nodiscard]] std::vector<std::string> with_obs_flags(
     std::vector<std::string> flags);
