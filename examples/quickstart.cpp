@@ -7,6 +7,12 @@
 //   --trace-json out.json  writes a Chrome trace (open in Perfetto)
 //   --json out.jsonl       appends one structured telemetry record
 //   --metrics-json out.json dumps the process metrics registry
+//   --break-row R          zeroes diagonal entry R: pivot-free solvers
+//                          break down, the guard flags the system and the
+//                          LU fallback recovers it (DESIGN.md "Guarded
+//                          solve path")
+//   --refine               adds residual-gated iterative refinement after
+//                          the LU fallback
 
 #include <cstdio>
 
@@ -28,24 +34,40 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, util::with_obs_flags({"n", "trace"}));
+  const util::Cli cli(
+      argc, argv, util::with_obs_flags({"n", "trace", "break-row", "refine"}));
   gpusim::configure_engine_from_cli(cli);  // --sim-threads / --instrument
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 1000));
+  const long break_row = cli.get_int("break-row", -1);
+  const bool refine = cli.get_bool("refine", false);
 
   // A diagonally dominant random system A x = d.
   util::Xoshiro256 rng(2026);
   tridiag::TridiagSystem<double> sys(n);
   workloads::fill_matrix(workloads::Kind::random_dominant, sys.ref(), rng);
   workloads::fill_rhs_random(sys.ref(), rng);
+  if (break_row >= 0 && static_cast<std::size_t>(break_row) < n) {
+    // A zero diagonal entry keeps the matrix nonsingular (LU with pivoting
+    // still solves it) but breaks every pivot-free elimination.
+    sys.b()[static_cast<std::size_t>(break_row)] = 0.0;
+    std::printf("injected zero diagonal at row %ld\n", break_row);
+  }
 
   // 1. Classic Thomas algorithm (O(n), sequential).
   auto thomas_in = sys.clone();
   util::AlignedBuffer<double> x_thomas(n);
+  bool thomas_ok = true;
   if (auto st = tridiag::thomas_solve(thomas_in.ref(),
                                       tridiag::StridedView<double>(x_thomas.span()));
       !st.ok()) {
-    std::fprintf(stderr, "thomas failed at row %zu\n", st.index);
-    return 1;
+    if (break_row < 0) {
+      std::fprintf(stderr, "thomas failed at row %zu\n", st.index);
+      return 1;
+    }
+    // Expected with --break-row: the pivot-free sweep hits the zero pivot.
+    std::printf("Thomas      : %s at row %zu (expected — no pivoting)\n",
+                tridiag::solve_code_name(st.code), st.index);
+    thomas_ok = false;
   }
 
   // 2. LU with partial pivoting (the robust referee).
@@ -69,7 +91,12 @@ int main(int argc, char** argv) {
     }
   }
   const auto dev = gpusim::gtx480();
-  const auto report = gpu::hybrid_solve(dev, batch);
+  gpu::HybridOptions hopts;
+  // Guard detection is always on (it is free); recovery is armed when a
+  // breakdown is being demonstrated or refinement was requested.
+  hopts.guard.fallback = break_row >= 0 || refine;
+  hopts.guard.refine = refine;
+  const auto report = gpu::hybrid_solve(dev, batch, hopts);
 
   // Residuals against the original system.
   const auto sys_c = tridiag::as_const(sys.ref());
@@ -81,8 +108,17 @@ int main(int argc, char** argv) {
       sys_c, tridiag::as_const(batch.system(0)).d);
 
   std::printf("n = %zu\n", n);
-  std::printf("Thomas      : relative residual %.3e\n", r_thomas);
+  if (thomas_ok) {
+    std::printf("Thomas      : relative residual %.3e\n", r_thomas);
+  }
   std::printf("LU (gtsv)   : relative residual %.3e\n", r_lu);
+  if (report.flagged > 0) {
+    std::printf("Guard       : %zu system(s) flagged (%s at row %zu, growth "
+                "%.2e), %zu LU fallback solve(s), %zu refinement step(s)\n",
+                report.flagged, tridiag::solve_code_name(report.status[0].code),
+                report.status[0].index, report.status[0].pivot_growth,
+                report.fallback_solves, report.refine_steps);
+  }
   if (report.timeline.timed()) {
     std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
                 "systems, %.1f us simulated on %s (PCR share %.0f%%)\n",
@@ -125,6 +161,9 @@ int main(int argc, char** argv) {
     rec["time_us"] = report.total_us();
     rec["k"] = static_cast<double>(report.k);
     rec["residual"] = r_hybrid;
+    rec["guard_flagged"] = static_cast<double>(report.flagged);
+    rec["guard_fallback"] = static_cast<double>(report.fallback_solves);
+    rec["guard_refined"] = static_cast<double>(report.refine_steps);
     sink.write(rec);
   }
   if (const std::string metrics_path = cli.get_string("metrics-json", "");

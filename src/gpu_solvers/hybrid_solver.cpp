@@ -6,6 +6,7 @@
 #include "gpu_solvers/pthomas_kernel.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "obs/metrics.hpp"
+#include "tridiag/lu_pivot.hpp"
 #include "tridiag/pcr.hpp"
 
 namespace tridsolve::gpu {
@@ -35,10 +36,13 @@ WindowVariant pick_variant(const gpusim::DeviceSpec& dev,
 
 /// Views of the 2^k interleaved reduced systems inside `batch`-shaped
 /// arrays (which may be a scratch copy), ordered so that consecutive
-/// p-Thomas threads touch consecutive addresses.
+/// p-Thomas threads touch consecutive addresses. When `owners` is non-null
+/// it receives, parallel to the views, the batch system index each reduced
+/// system came from (the guard's merge key).
 template <typename T>
 std::vector<tridiag::SystemRef<T>> reduced_system_views(
-    tridiag::SystemBatch<T>& batch, unsigned k) {
+    tridiag::SystemBatch<T>& batch, unsigned k,
+    std::vector<std::size_t>* owners = nullptr) {
   const std::size_t m_count = batch.num_systems();
   const std::size_t n = batch.system_size();
   const std::size_t stride_sys = std::size_t{1} << k;
@@ -58,6 +62,7 @@ std::vector<tridiag::SystemRef<T>> reduced_system_views(
         tridiag::StridedView<T>(batch.b().data() + base, count, elem_stride),
         tridiag::StridedView<T>(batch.c().data() + base, count, elem_stride),
         tridiag::StridedView<T>(batch.d().data() + base, count, elem_stride)});
+    if (owners != nullptr) owners->push_back(m);
   };
 
   if (contiguous) {
@@ -102,6 +107,12 @@ struct HybridMetrics {
       obs::counter_handle("pcr.eliminations");
   obs::MetricsRegistry::Counter variant_pthomas_only =
       obs::counter_handle("hybrid.variant.pthomas_only");
+  obs::MetricsRegistry::Counter guard_flagged =
+      obs::counter_handle("solver.guard.flagged");
+  obs::MetricsRegistry::Counter guard_fallback =
+      obs::counter_handle("solver.guard.fallback");
+  obs::MetricsRegistry::Counter guard_refined =
+      obs::counter_handle("solver.guard.refined");
 
   [[nodiscard]] obs::MetricsRegistry::Counter& variant(WindowVariant v) {
     switch (v) {
@@ -139,6 +150,12 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   HybridMetrics& metrics = HybridMetrics::instance();
   const obs::ScopedTimer host_timer(metrics.solve_time_us, metrics.solve_calls);
   metrics.solves.add();
+
+  const GuardPolicy& guard = opts.guard;
+  if (guard.detect) report.status.resize(m_count);
+  // LU fallback needs the untouched inputs; the solve below consumes them.
+  std::optional<tridiag::SystemBatch<T>> pristine;
+  if (guard.detect && guard.fallback) pristine.emplace(batch.clone());
 
   // --- 1. transition point -------------------------------------------------
   unsigned k;
@@ -194,7 +211,7 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
           const std::size_t r1 = std::min(n, r0 + per);
           if (r0 >= r1) break;
           work.push_back(
-              TiledPcrWork<T>{batch.system(m), scratch->system(m), r0, r1});
+              TiledPcrWork<T>{batch.system(m), scratch->system(m), r0, r1, m});
         }
       }
     } else {
@@ -204,11 +221,22 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
                                     : opts.systems_per_block;
       }
       for (std::size_t m = 0; m < m_count; ++m) {
-        work.push_back(TiledPcrWork<T>{batch.system(m), batch.system(m), 0, n});
+        work.push_back(
+            TiledPcrWork<T>{batch.system(m), batch.system(m), 0, n, m});
       }
     }
 
-    const auto pcr_stats = tiled_pcr_kernel<T>(dev, work, cfg);
+    std::vector<tridiag::SolveStatus> window_guard(
+        guard.detect ? work.size() : 0);
+    const auto pcr_stats = tiled_pcr_kernel<T>(
+        dev, work, cfg, std::span<tridiag::SolveStatus>(window_guard));
+    if (guard.detect) {
+      // Window slots are written in per-block private ranges; merging here
+      // in window order keeps the per-system result deterministic.
+      for (std::size_t w = 0; w < work.size(); ++w) {
+        report.status.absorb(work[w].system_id, window_guard[w]);
+      }
+    }
     report.timeline.add(opts.fuse ? "pcr+thomas-fwd" : "pcr", pcr_stats.launch);
     report.eliminations_pcr = pcr_stats.eliminations;
     report.redundant_loads = pcr_stats.redundant_loads();
@@ -232,7 +260,8 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   }
 
   // --- 3. p-Thomas over the reduced systems ---------------------------------
-  auto systems = reduced_system_views(*reduced, k);
+  std::vector<std::size_t> owners;
+  auto systems = reduced_system_views(*reduced, k, &owners);
   report.reduced_systems = systems.size();
 
   std::vector<tridiag::StridedView<T>> xout;
@@ -244,14 +273,44 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   }
 
   if (opts.fuse && k >= 1) {
+    // The forward sweep (and its pivot detection) already ran inside the
+    // fused PCR kernel; the backward pass has no divisions to guard.
     const auto bwd = pthomas_backward<T>(dev, systems, xout,
                                          opts.pthomas_block_threads);
     report.timeline.add("thomas-bwd", bwd);
   } else {
+    std::vector<tridiag::SolveStatus> sys_guard(guard.detect ? systems.size()
+                                                             : 0);
     const auto th =
-        pthomas_solve<T>(dev, systems, xout, opts.pthomas_block_threads);
+        pthomas_solve<T>(dev, systems, xout, opts.pthomas_block_threads,
+                         std::span<tridiag::SolveStatus>(sys_guard));
     report.timeline.add("thomas-fwd", th.forward);
     report.timeline.add("thomas-bwd", th.backward);
+    if (guard.detect) {
+      for (std::size_t v = 0; v < systems.size(); ++v) {
+        report.status.absorb(owners[v], sys_guard[v]);
+      }
+    }
+  }
+
+  // --- 4. guard policy: growth limit, taxonomy, recovery --------------------
+  if (guard.detect) {
+    report.status.apply_growth_limit(
+        guard.growth_limit > 0.0 ? guard.growth_limit
+                                 : tridiag::default_growth_limit<T>());
+    report.flagged = report.status.flagged_count();
+    metrics.guard_flagged.add(static_cast<double>(report.flagged));
+    if (guard.fallback && report.flagged > 0) {
+      tridiag::RecoverOptions ropts;
+      ropts.refine = guard.refine;
+      ropts.refine_gate = guard.refine_gate;
+      const auto rstats =
+          tridiag::lu_recover_flagged(*pristine, batch, report.status, ropts);
+      report.fallback_solves = rstats.fallback_solves;
+      report.refine_steps = rstats.refine_steps;
+      metrics.guard_fallback.add(static_cast<double>(rstats.fallback_solves));
+      metrics.guard_refined.add(static_cast<double>(rstats.refine_steps));
+    }
   }
 
   // Split-system scratch: x was routed to batch.d via xout; nothing to copy.

@@ -1,6 +1,7 @@
 #include "gpu_solvers/pthomas_kernel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -42,14 +43,54 @@ std::size_t grid_for(std::span<const tridiag::SystemRef<T>> systems,
          static_cast<std::size_t>(block_threads);
 }
 
+/// Per-lane pivot-guard accumulator for the forward sweep. Detection only:
+/// it reads values the elimination already has in hand, records no costs,
+/// and never alters the arithmetic — guarded and unguarded runs stay
+/// bit-identical in both outputs and recorded timing.
+struct GuardAcc {
+  bool flagged = false;
+  std::size_t row = 0;
+  double growth = 1.0;
+};
+
+template <typename T>
+inline void guard_check(GuardAcc& g, T a, T b, T c, T denom,
+                        std::size_t i) noexcept {
+  // !(denom != 0) also catches a NaN denominator.
+  if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
+    if (!g.flagged) {
+      g.flagged = true;
+      g.row = i;
+    }
+    return;
+  }
+  const double scale = std::max({std::abs(static_cast<double>(a)),
+                                 std::abs(static_cast<double>(b)),
+                                 std::abs(static_cast<double>(c))});
+  const double ratio = scale / std::abs(static_cast<double>(denom));
+  if (ratio > g.growth) g.growth = ratio;
+}
+
+inline tridiag::SolveStatus guard_status(const GuardAcc& g) noexcept {
+  return g.flagged
+             ? tridiag::SolveStatus{tridiag::SolveCode::zero_pivot, g.row,
+                                    g.growth}
+             : tridiag::SolveStatus{tridiag::SolveCode::ok, 0, g.growth};
+}
+
 }  // namespace
 
 template <typename T>
 PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
                            std::span<const tridiag::SystemRef<T>> systems,
                            std::span<const tridiag::StridedView<T>> xout,
-                           int block_threads) {
+                           int block_threads,
+                           std::span<tridiag::SolveStatus> guard) {
+  if (!guard.empty() && guard.size() != systems.size()) {
+    throw std::invalid_argument("pthomas_solve: guard/systems size mismatch");
+  }
   PthomasStats stats;
+  const bool guarding = !guard.empty();
 
   // Forward reduction, in place: c <- c', d <- d'. One serialized memory
   // round per row (the loads of row i gate the elimination row i+1 needs).
@@ -59,6 +100,16 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
         const BlockLanes<T> blk(ctx, systems, block_threads);
         std::vector<T> cp(blk.lanes, T(0));
         std::vector<T> dp(blk.lanes, T(0));
+        std::vector<GuardAcc> acc(guarding ? blk.lanes : 0);
+        // Each lane owns one system, so the guard slot write below is
+        // race-free regardless of block scheduling order.
+        auto guard_row = [&](std::size_t lane, const tridiag::SystemRef<T>& s,
+                             T a, T b, T c, T denom, std::size_t i) {
+          guard_check(acc[lane], a, b, c, denom, i);
+          if (i + 1 == s.size()) {
+            guard[blk.base + lane] = guard_status(acc[lane]);
+          }
+        };
         if (!ctx.recording()) {
           // Non-instrumented blocks (sampled / functional_only): the same
           // arithmetic in the same order — bit-exact with the recorded
@@ -73,6 +124,7 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
               const T c = *s.c.ptr(i);
               const T d = *s.d.ptr(i);
               const T denom = b - cp[lane] * a;
+              if (guarding) guard_row(lane, s, a, b, c, denom, i);
               const T inv = T(1) / denom;
               cp[lane] = c * inv;
               dp[lane] = (d - dp[lane] * a) * inv;
@@ -92,6 +144,7 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
           const T c = t.load(s.c.ptr(i));
           const T d = t.load(s.d.ptr(i));
           const T denom = b - cp[lane] * a;
+          if (guarding) guard_row(lane, s, a, b, c, denom, i);
           const T inv = T(1) / denom;
           cp[lane] = c * inv;
           dp[lane] = (d - dp[lane] * a) * inv;
@@ -173,10 +226,11 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
 template PthomasStats pthomas_solve<float>(const gpusim::DeviceSpec&,
                                            std::span<const tridiag::SystemRef<float>>,
                                            std::span<const tridiag::StridedView<float>>,
-                                           int);
+                                           int, std::span<tridiag::SolveStatus>);
 template PthomasStats pthomas_solve<double>(
     const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<double>>,
-    std::span<const tridiag::StridedView<double>>, int);
+    std::span<const tridiag::StridedView<double>>, int,
+    std::span<tridiag::SolveStatus>);
 template gpusim::LaunchStats pthomas_backward<float>(
     const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<float>>,
     std::span<const tridiag::StridedView<float>>, int);

@@ -45,11 +45,21 @@ struct PthomasStats {
 /// `systems`; the backward pass then writes the solution there instead of
 /// overwriting d (used when the reduced systems live in a scratch buffer
 /// but the solution belongs in the caller's batch).
+///
+/// If `guard` is non-empty it must parallel `systems`: the forward sweep
+/// checks every elimination pivot and writes a per-system SolveStatus
+/// (zero_pivot at the first zero/non-finite denominator, plus the
+/// pivot-growth estimate). Each system is owned by exactly one lane, so
+/// the writes are race-free and deterministic. Detection is read-only:
+/// it records no costs and changes no arithmetic, so guarded runs stay
+/// bit-identical (outputs and timing) to unguarded ones. Entries for
+/// empty systems are left untouched — pre-initialize them.
 template <typename T>
 PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
                            std::span<const tridiag::SystemRef<T>> systems,
                            std::span<const tridiag::StridedView<T>> xout = {},
-                           int block_threads = 128);
+                           int block_threads = 128,
+                           std::span<tridiag::SolveStatus> guard = {});
 
 /// Backward sweep only, for the fused hybrid (whose PCR kernel already
 /// performed the forward elimination, leaving c', d' in c, d).
@@ -61,10 +71,12 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
 
 extern template PthomasStats pthomas_solve<float>(
     const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<float>>,
-    std::span<const tridiag::StridedView<float>>, int);
+    std::span<const tridiag::StridedView<float>>, int,
+    std::span<tridiag::SolveStatus>);
 extern template PthomasStats pthomas_solve<double>(
     const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<double>>,
-    std::span<const tridiag::StridedView<double>>, int);
+    std::span<const tridiag::StridedView<double>>, int,
+    std::span<tridiag::SolveStatus>);
 extern template gpusim::LaunchStats pthomas_backward<float>(
     const gpusim::DeviceSpec&, std::span<const tridiag::SystemRef<float>>,
     std::span<const tridiag::StridedView<float>>, int);

@@ -1,6 +1,8 @@
 #include "gpu_solvers/registry.hpp"
 
 #include <bit>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "gpu_solvers/cr_kernel.hpp"
@@ -9,6 +11,9 @@
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/partition_kernel.hpp"
 #include "gpu_solvers/zhang_pcr_thomas.hpp"
+#include "obs/metrics.hpp"
+#include "tridiag/lu_pivot.hpp"
+#include "tridiag/residual.hpp"
 
 namespace tridsolve::gpu {
 
@@ -43,6 +48,38 @@ void require_timed(const gpusim::LaunchStats& stats) {
   }
 }
 
+/// Post-hoc guard over a solved batch: flags systems whose solution holds
+/// non-finite entries (zero_pivot at the first bad row) or fails a
+/// relative-residual gate against the pristine inputs (near_singular).
+/// This is solver-agnostic — it catches breakdowns even in kernels that
+/// have no built-in pivot guard (Zhang, CR, Davidson, partition).
+template <typename T>
+void posthoc_scan(const tridiag::SystemBatch<T>& pristine,
+                  const tridiag::SystemBatch<T>& solved,
+                  tridiag::BatchStatus& status) {
+  const double gate =
+      std::sqrt(static_cast<double>(std::numeric_limits<T>::epsilon()));
+  const std::size_t n = pristine.system_size();
+  for (std::size_t m = 0; m < pristine.num_systems(); ++m) {
+    const tridiag::StridedView<const T> x = solved.system(m).d;
+    bool bad = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(static_cast<double>(x[i]))) {
+        status.absorb(m, {tridiag::SolveCode::zero_pivot, i});
+        bad = true;
+        break;
+      }
+    }
+    if (bad) continue;
+    const double rel = tridiag::relative_residual(pristine.system(m), x);
+    // NaN compares false against the gate both ways; !(rel <= gate) flags
+    // it (a residual that cannot be evaluated is not a clean solve).
+    if (!(rel <= gate)) {
+      status.absorb(m, {tridiag::SolveCode::near_singular, 0});
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -51,6 +88,8 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
                         const SolverRunOptions& run_opts,
                         tridiag::SystemBatch<T>* solution) {
   SolveOutcome out;
+  const bool fallback = run_opts.fallback || run_opts.refine;
+  const bool guarding = run_opts.guard || fallback;
   auto copy = batch.clone();
   std::optional<gpusim::ScopedInstrumentMode> instrument_guard;
   if (run_opts.instrument) instrument_guard.emplace(*run_opts.instrument);
@@ -62,11 +101,15 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         HybridOptions opts;
         if (kind == SolverKind::hybrid_fused) opts.fuse = true;
         if (kind == SolverKind::pthomas_only) opts.force_k = 0;
+        // The hybrid's in-kernel guard supplies exact rows and pivot
+        // growth; recovery stays here so all kinds share one LU path.
+        opts.guard.detect = guarding;
         const auto rep = hybrid_solve(dev, copy, opts);
         out.supported = true;
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
         out.detail = "k=" + std::to_string(rep.k);
+        out.status = rep.status;
         break;
       }
       case SolverKind::zhang: {
@@ -113,6 +156,36 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
     out.supported = false;
     out.detail = e.what();
   }
+
+  if (out.supported && guarding) {
+    static const auto flagged_ctr = obs::counter_handle("solver.guard.flagged");
+    static const auto fallback_ctr =
+        obs::counter_handle("solver.guard.fallback");
+    static const auto refined_ctr = obs::counter_handle("solver.guard.refined");
+    // resize() wipes to fresh statuses — only size up guard-less kinds,
+    // never the hybrid family's kernel-reported rows and pivot growth.
+    if (out.status.size() != batch.num_systems()) {
+      out.status.resize(batch.num_systems());
+    }
+    // The hybrid family already counted its kernel-reported flags in
+    // solver.guard.flagged; only the scan's *new* flags are added here so
+    // the taxonomy counters stay exact per system.
+    const std::size_t kernel_flagged = out.status.flagged_count();
+    posthoc_scan(batch, copy, out.status);
+    out.flagged = out.status.flagged_count();
+    flagged_ctr.add(static_cast<double>(out.flagged - kernel_flagged));
+    if (fallback && out.flagged > 0) {
+      tridiag::RecoverOptions ropts;
+      ropts.refine = run_opts.refine;
+      const auto rstats =
+          tridiag::lu_recover_flagged(batch, copy, out.status, ropts);
+      out.fallback_solves = rstats.fallback_solves;
+      out.refine_steps = rstats.refine_steps;
+      fallback_ctr.add(static_cast<double>(rstats.fallback_solves));
+      refined_ctr.add(static_cast<double>(rstats.refine_steps));
+    }
+  }
+
   if (out.supported && solution != nullptr) *solution = std::move(copy);
   return out;
 }

@@ -10,6 +10,7 @@
 
 #include "gpusim/device_spec.hpp"
 #include "gpusim/exec_engine.hpp"
+#include "tridiag/batch_status.hpp"
 #include "tridiag/layout.hpp"
 
 namespace tridsolve::gpu {
@@ -33,6 +34,15 @@ struct SolveOutcome {
   double time_us = 0.0;       ///< simulated execution time
   std::size_t launches = 0;   ///< kernel launches performed
   std::string detail;         ///< rejection reason or extra info
+
+  /// Per-system guard outcome, sized num_systems when guarding was
+  /// requested (empty otherwise). Codes are the detection record: a
+  /// flagged system keeps its code even after LU fallback replaced its
+  /// solution with a good one.
+  tridiag::BatchStatus status;
+  std::size_t flagged = 0;          ///< systems with a non-ok status
+  std::size_t fallback_solves = 0;  ///< flagged systems LU re-solved
+  std::size_t refine_steps = 0;     ///< refinement iterations performed
 };
 
 /// Per-run knobs threaded through the registry into the launch engine.
@@ -40,6 +50,17 @@ struct SolverRunOptions {
   /// Instrumentation mode for every launch of the run; empty = engine
   /// default. functional_only runs report supported = false (no timing).
   std::optional<gpusim::InstrumentMode> instrument{};
+  /// Collect a per-system SolveStatus: hybrid-family kernels report their
+  /// own pivot guards; every solver additionally gets a post-hoc scan
+  /// (non-finite solution entries, then a relative-residual gate) so even
+  /// guard-less kernels cannot return silent garbage.
+  bool guard = false;
+  /// Re-solve flagged systems with partial-pivoting LU from the pristine
+  /// input (implies guard).
+  bool fallback = false;
+  /// Residual-gated iterative refinement after the LU fallback (implies
+  /// fallback).
+  bool refine = false;
 };
 
 /// Run `kind` over a fresh copy of `batch` (the input is not modified).

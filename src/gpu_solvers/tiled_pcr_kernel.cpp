@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -22,6 +23,38 @@ constexpr SRow<T> identity_srow() noexcept {
   return {T(0), T(1), T(0), T(0)};
 }
 
+/// Guard check for one PCR elimination in shared memory: wraps the shared
+/// tridiag::detail::guard_pcr_combine on SRow operands. Read-only.
+template <typename T>
+inline void guard_srow_combine(tridiag::SolveStatus& st, const SRow<T>& lo,
+                               const SRow<T>& mid, const SRow<T>& hi,
+                               std::size_t pos) noexcept {
+  tridiag::detail::guard_pcr_combine(
+      st, tridiag::Row<T>{lo.a, lo.b, lo.c, lo.d},
+      tridiag::Row<T>{mid.a, mid.b, mid.c, mid.d},
+      tridiag::Row<T>{hi.a, hi.b, hi.c, hi.d}, pos);
+}
+
+/// Guard check for one fused Thomas-forward pivot (same rule as the
+/// p-Thomas kernel): zero/NaN/Inf denominator flags zero_pivot at `pos`
+/// (first offence wins); otherwise the growth estimate absorbs the row.
+template <typename T>
+inline void guard_fused_pivot(tridiag::SolveStatus& st, const SRow<T>& row,
+                              T denom, std::size_t pos) noexcept {
+  if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
+    if (st.code == tridiag::SolveCode::ok) {
+      st.code = tridiag::SolveCode::zero_pivot;
+      st.index = pos;
+    }
+    return;
+  }
+  const double scale = std::max({std::abs(static_cast<double>(row.a)),
+                                 std::abs(static_cast<double>(row.b)),
+                                 std::abs(static_cast<double>(row.c))});
+  const double ratio = scale / std::abs(static_cast<double>(denom));
+  if (ratio > st.pivot_growth) st.pivot_growth = ratio;
+}
+
 }  // namespace
 
 std::size_t tiled_pcr_window_shared_bytes(unsigned k, std::size_t c,
@@ -34,8 +67,14 @@ std::size_t tiled_pcr_window_shared_bytes(unsigned k, std::size_t c,
 template <typename T>
 TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
                                std::span<const TiledPcrWork<T>> work,
-                               const TiledPcrConfig& cfg) {
+                               const TiledPcrConfig& cfg,
+                               std::span<tridiag::SolveStatus> window_guard) {
   if (cfg.k == 0) throw std::invalid_argument("tiled_pcr_kernel: k must be >= 1");
+  if (!window_guard.empty() && window_guard.size() != work.size()) {
+    throw std::invalid_argument(
+        "tiled_pcr_kernel: window_guard/work size mismatch");
+  }
+  const bool guarding = !window_guard.empty();
   const int threads = 1 << cfg.k;
   if (threads > dev.max_threads_per_block) {
     throw std::invalid_argument("tiled_pcr_kernel: 2^k exceeds block limit");
@@ -85,6 +124,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
       std::size_t iters;        // total iterations for this window
       std::span<SRow<T>> buf[2];           // ping-pong level batches
       std::vector<std::span<SRow<T>>> tails;  // tails[j]: level-j tail, 2^{j+1} rows
+      tridiag::SolveStatus guard_st{};     // per-window pivot guard (if guarding)
     };
     const std::size_t first = ctx.block_id() * G;
     const std::size_t count = std::min(G, work.size() - std::min(work.size(), first));
@@ -184,6 +224,17 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               const SRow<T>& lo = read(idx - static_cast<std::ptrdiff_t>(span_j));
               const SRow<T>& mid = read(idx - static_cast<std::ptrdiff_t>(reach));
               const SRow<T>& hi = read(idx);
+              // Position of the row this elimination produces (used for the
+              // redundancy bookkeeping and guard attribution below).
+              const std::ptrdiff_t pos =
+                  wd.P - (static_cast<std::ptrdiff_t>(span_j) - 1) + idx;
+              const bool real_row =
+                  pos >= 0 && pos < static_cast<std::ptrdiff_t>(wd.w.sys.size());
+              if (guarding && real_row) {
+                // Read-only divisor check; the elimination below is unchanged.
+                guard_srow_combine(wd.guard_st, lo, mid, hi,
+                                   static_cast<std::size_t>(pos));
+              }
               // PCR elimination (Eqs. 5-6).
               const T k1 = mid.a / lo.b;
               const T k2 = mid.c / hi.b;
@@ -194,9 +245,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               t.divs<T>(2);
               // Count only eliminations of real rows for the redundancy
               // bookkeeping (identity warm-up/drain rows are free lanes).
-              const std::ptrdiff_t pos =
-                  wd.P - (static_cast<std::ptrdiff_t>(span_j) - 1) + idx;
-              if (pos >= 0 && pos < static_cast<std::ptrdiff_t>(wd.w.sys.size())) {
+              if (real_row) {
                 ++block_eliminations;
               }
             }
@@ -241,6 +290,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               T& dp = fwd_dp[g * static_cast<std::size_t>(threads) +
                              static_cast<std::size_t>(t.tid())];
               const T denom = row.b - cp * row.a;
+              if (guarding) guard_fused_pivot(wd.guard_st, row, denom, u);
               const T inv = T(1) / denom;
               cp = row.c * inv;
               dp = (row.d - dp * row.a) * inv;
@@ -265,6 +315,12 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
         .fetch_add(block_row_loads, std::memory_order_relaxed);
     std::atomic_ref<std::size_t>(stats.eliminations)
         .fetch_add(block_eliminations, std::memory_order_relaxed);
+    if (guarding) {
+      // Slots [first, first + count) belong to this block alone.
+      for (std::size_t g = 0; g < count; ++g) {
+        window_guard[first + g] = win[g].guard_st;
+      }
+    }
   });
 
   return stats;
@@ -272,9 +328,11 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
 
 template TiledPcrStats tiled_pcr_kernel<float>(const gpusim::DeviceSpec&,
                                                std::span<const TiledPcrWork<float>>,
-                                               const TiledPcrConfig&);
+                                               const TiledPcrConfig&,
+                                               std::span<tridiag::SolveStatus>);
 template TiledPcrStats tiled_pcr_kernel<double>(const gpusim::DeviceSpec&,
                                                 std::span<const TiledPcrWork<double>>,
-                                                const TiledPcrConfig&);
+                                                const TiledPcrConfig&,
+                                                std::span<tridiag::SolveStatus>);
 
 }  // namespace tridsolve::gpu

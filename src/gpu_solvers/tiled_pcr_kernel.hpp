@@ -50,6 +50,7 @@ struct TiledPcrWork {
   tridiag::SystemRef<T> out;
   std::size_t r0 = 0;
   std::size_t r1 = 0;
+  std::size_t system_id = 0;  ///< caller's batch index (guard merge key)
 };
 
 struct TiledPcrConfig {
@@ -82,10 +83,20 @@ struct TiledPcrStats {
 
 /// Run the kernel over all windows. Each block takes `systems_per_block`
 /// consecutive entries of `work`. Requires k >= 1 (k = 0 means "skip PCR").
+///
+/// If `window_guard` is non-empty it must parallel `work`: every window
+/// writes one SolveStatus slot flagging zero/non-finite PCR divisors (and,
+/// under fusion, Thomas-forward pivots) seen while producing that window's
+/// rows, plus the pivot-growth estimate. Blocks own disjoint slot ranges,
+/// so the writes are race-free and deterministic; callers merge slots into
+/// per-system status via TiledPcrWork::system_id. Detection is read-only —
+/// no recorded costs, no arithmetic changes — so guarded runs stay
+/// bit-identical (outputs and timing) to unguarded ones.
 template <typename T>
 TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
                                std::span<const TiledPcrWork<T>> work,
-                               const TiledPcrConfig& cfg);
+                               const TiledPcrConfig& cfg,
+                               std::span<tridiag::SolveStatus> window_guard = {});
 
 /// Helper: the shared-memory bytes one window needs (for occupancy
 /// reasoning and Table I/III checks).
@@ -94,9 +105,9 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
 
 extern template TiledPcrStats tiled_pcr_kernel<float>(
     const gpusim::DeviceSpec&, std::span<const TiledPcrWork<float>>,
-    const TiledPcrConfig&);
+    const TiledPcrConfig&, std::span<tridiag::SolveStatus>);
 extern template TiledPcrStats tiled_pcr_kernel<double>(
     const gpusim::DeviceSpec&, std::span<const TiledPcrWork<double>>,
-    const TiledPcrConfig&);
+    const TiledPcrConfig&, std::span<tridiag::SolveStatus>);
 
 }  // namespace tridsolve::gpu

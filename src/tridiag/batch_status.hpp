@@ -1,0 +1,110 @@
+#pragma once
+// Per-system solve statuses for batched workloads.
+//
+// A 65K-system batch must not be poisoned by one singular member: every
+// batched solve path records one SolveStatus per system here, so callers
+// can tell exactly which systems failed (and why), re-solve just those
+// through the pivoted-LU fallback, and leave the rest untouched.
+//
+// Statuses merge via absorb(): a batched pipeline has several stages
+// (tiled PCR, then p-Thomas, then a post-solve scan), each of which may
+// flag the same system; the most severe code and the largest pivot-growth
+// estimate win, and the first stage to flag keeps its offending row.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "tridiag/types.hpp"
+
+namespace tridsolve::tridiag {
+
+/// Severity order for merging statuses from multiple pipeline stages.
+[[nodiscard]] constexpr int solve_code_severity(SolveCode c) noexcept {
+  switch (c) {
+    case SolveCode::ok: return 0;
+    case SolveCode::near_singular: return 1;
+    case SolveCode::zero_pivot: return 2;
+    case SolveCode::singular: return 3;
+    case SolveCode::bad_size: return 4;
+  }
+  return 0;
+}
+
+/// Default pivot-growth limit above which a completed solve is flagged
+/// near_singular: 1/sqrt(eps) of the working precision, the classical
+/// point past which half the mantissa is amplification noise.
+template <typename T>
+[[nodiscard]] inline double default_growth_limit() noexcept {
+  return 1.0 /
+         std::sqrt(static_cast<double>(std::numeric_limits<T>::epsilon()));
+}
+
+/// One SolveStatus per system of a batch.
+class BatchStatus {
+ public:
+  BatchStatus() = default;
+  explicit BatchStatus(std::size_t num_systems) : sys_(num_systems) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return sys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sys_.empty(); }
+  void resize(std::size_t num_systems) { sys_.assign(num_systems, {}); }
+
+  [[nodiscard]] SolveStatus& operator[](std::size_t m) noexcept { return sys_[m]; }
+  [[nodiscard]] const SolveStatus& operator[](std::size_t m) const noexcept {
+    return sys_[m];
+  }
+  [[nodiscard]] const std::vector<SolveStatus>& systems() const noexcept {
+    return sys_;
+  }
+
+  /// Merge a stage's verdict for system m: higher-severity code wins (the
+  /// first stage to reach that severity keeps its row), growth is the max.
+  void absorb(std::size_t m, const SolveStatus& s) noexcept {
+    SolveStatus& cur = sys_[m];
+    if (solve_code_severity(s.code) > solve_code_severity(cur.code)) {
+      cur.code = s.code;
+      cur.index = s.index;
+    }
+    if (s.pivot_growth > cur.pivot_growth) cur.pivot_growth = s.pivot_growth;
+  }
+
+  /// Upgrade ok systems whose recorded growth exceeds `limit` to
+  /// near_singular (the guard policy step between detection and recovery).
+  void apply_growth_limit(double limit) noexcept {
+    if (!(limit > 0.0)) return;
+    for (auto& s : sys_) {
+      if (s.code == SolveCode::ok && !(s.pivot_growth <= limit)) {
+        s.code = SolveCode::near_singular;
+      }
+    }
+  }
+
+  [[nodiscard]] bool all_ok() const noexcept {
+    for (const auto& s : sys_) {
+      if (!s.ok()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t flagged_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : sys_) n += s.ok() ? 0 : 1;
+    return n;
+  }
+
+  /// Indices of every non-ok system, in order.
+  [[nodiscard]] std::vector<std::size_t> flagged() const {
+    std::vector<std::size_t> out;
+    for (std::size_t m = 0; m < sys_.size(); ++m) {
+      if (!sys_[m].ok()) out.push_back(m);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<SolveStatus> sys_;
+};
+
+}  // namespace tridsolve::tridiag

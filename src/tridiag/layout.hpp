@@ -69,6 +69,16 @@ class SystemBatch {
             StridedView<T>(d_.data() + base, n_, stride)};
   }
 
+  [[nodiscard]] SystemRef<const T> system(std::size_t m) const noexcept {
+    const std::size_t base = layout_ == Layout::contiguous ? m * n_ : m;
+    const std::ptrdiff_t stride =
+        layout_ == Layout::contiguous ? 1 : static_cast<std::ptrdiff_t>(m_);
+    return {StridedView<const T>(a_.data() + base, n_, stride),
+            StridedView<const T>(b_.data() + base, n_, stride),
+            StridedView<const T>(c_.data() + base, n_, stride),
+            StridedView<const T>(d_.data() + base, n_, stride)};
+  }
+
   [[nodiscard]] SystemBatch clone() const {
     SystemBatch out(m_, n_, layout_);
     for (std::size_t i = 0; i < m_ * n_; ++i) {

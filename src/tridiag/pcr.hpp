@@ -7,6 +7,8 @@
 // (rows i ≡ r mod 2^k). Out-of-range neighbours are identity rows (0,1,0|0),
 // which makes the transform valid for any n, not just powers of two.
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -54,6 +56,38 @@ template <typename T>
       mid.d - lo.d * k1 - hi.d * k2,
   };
 }
+
+namespace detail {
+
+/// Divisor check for one pcr_combine: a zero or non-finite PCR pivot
+/// (lo.b / hi.b, the denominators of Eqs. 5-6) flags zero_pivot at `pos`
+/// (first offence wins); otherwise the pivot-growth estimate absorbs the
+/// ratio of this row's coefficient magnitude to the smallest divisor.
+/// Read-only — shared by the host tiled PCR and the GPU kernels, whose
+/// arithmetic must stay bit-identical with guards on or off.
+template <typename T>
+inline void guard_pcr_combine(SolveStatus& guard, const Row<T>& lo,
+                              const Row<T>& mid, const Row<T>& hi,
+                              std::size_t pos) noexcept {
+  const double blo = std::abs(static_cast<double>(lo.b));
+  const double bhi = std::abs(static_cast<double>(hi.b));
+  const bool bad = !(blo > 0.0) || !(bhi > 0.0) ||  // zero or NaN divisor
+                   !std::isfinite(blo) || !std::isfinite(bhi);
+  if (bad) {
+    if (guard.code == SolveCode::ok) {
+      guard.code = SolveCode::zero_pivot;
+      guard.index = pos;
+    }
+    return;
+  }
+  const double scale = std::max({std::abs(static_cast<double>(mid.a)),
+                                 std::abs(static_cast<double>(mid.b)),
+                                 std::abs(static_cast<double>(mid.c))});
+  const double ratio = scale / std::min(blo, bhi);
+  if (ratio > guard.pivot_growth) guard.pivot_growth = ratio;
+}
+
+}  // namespace detail
 
 /// One full PCR step at the given stride: dst[i] = combine(src[i-s], src[i],
 /// src[i+s]) for all i. src and dst must not alias. Returns the number of

@@ -1,9 +1,24 @@
 #include "tridiag/residual.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace tridsolve::tridiag {
+
+namespace {
+
+// NaN-propagating max accumulator: std::max(worst, NaN) silently returns
+// `worst`, which let a fully-NaN solution report residual 0.0 — the exact
+// failure mode a residual check exists to catch. A NaN sample is sticky.
+void accumulate_inf_norm(double& worst, double sample) noexcept {
+  if (std::isnan(sample)) {
+    worst = std::numeric_limits<double>::quiet_NaN();
+  } else if (!std::isnan(worst) && sample > worst) {
+    worst = sample;
+  }
+}
+
+}  // namespace
 
 template <typename T>
 double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x) {
@@ -13,7 +28,7 @@ double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x) {
     double r = static_cast<double>(sys.b[i]) * x[i] - static_cast<double>(sys.d[i]);
     if (i > 0) r += static_cast<double>(sys.a[i]) * x[i - 1];
     if (i + 1 < n) r += static_cast<double>(sys.c[i]) * x[i + 1];
-    worst = std::max(worst, std::abs(r));
+    accumulate_inf_norm(worst, std::abs(r));
   }
   return worst;
 }
@@ -30,12 +45,18 @@ double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x) 
     const double row = std::abs(static_cast<double>(sys.a[i])) +
                        std::abs(static_cast<double>(sys.b[i])) +
                        std::abs(static_cast<double>(sys.c[i]));
-    norm_a = std::max(norm_a, row);
-    norm_x = std::max(norm_x, std::abs(static_cast<double>(x[i])));
-    norm_d = std::max(norm_d, std::abs(static_cast<double>(sys.d[i])));
+    accumulate_inf_norm(norm_a, row);
+    accumulate_inf_norm(norm_x, std::abs(static_cast<double>(x[i])));
+    accumulate_inf_norm(norm_d, std::abs(static_cast<double>(sys.d[i])));
   }
   const double denom = norm_a * norm_x + norm_d;
-  return denom == 0.0 ? residual_inf(sys, x) : residual_inf(sys, x) / denom;
+  // denom == 0 means ||A||*||x|| and ||d|| are both zero (e.g. an all-zero
+  // system with any x): there is no scale to measure against, so the
+  // relative residual is undefined — NaN, per the contract in
+  // residual.hpp. Returning the absolute residual here (as this function
+  // once did) reported that degenerate case as a perfect 0.0.
+  if (!(denom > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  return residual_inf(sys, x) / denom;
 }
 
 template double residual_inf<float>(const SystemRef<const float>&,

@@ -8,12 +8,23 @@
 namespace tridsolve::tridiag {
 
 /// ||A x - d||_inf computed against the *original* (unreduced) system.
+/// Non-finite values propagate: a NaN anywhere in the residual yields NaN
+/// (never a silent 0.0), an Inf yields Inf — so a corrupted solution can
+/// never masquerade as a converged one.
 template <typename T>
 double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x);
 
 /// Scaled relative residual ||Ax - d||_inf / (||A||_inf ||x||_inf + ||d||_inf).
 /// Values within a small multiple of machine epsilon indicate a
 /// backward-stable solve.
+///
+/// Contract:
+///  * NaN coefficients, solution entries or residuals propagate to NaN.
+///  * A zero denominator (||A||·||x|| and ||d|| both zero, e.g. an
+///    all-zero system — no scale to measure against) returns NaN: the
+///    relative residual is undefined there, and callers gating on
+///    `res <= tol` correctly treat NaN as "not ok".
+///  * An empty system (n == 0) returns 0.0 (nothing to be wrong about).
 template <typename T>
 double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x);
 

@@ -7,6 +7,8 @@
 // arrays, so one function serves the plain CPU path (stride 1), the
 // interleaved batched path (stride M) and the post-PCR path (stride 2^k).
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
 
@@ -26,9 +28,16 @@ namespace tridsolve::tridiag {
 /// `x` (which may alias `sys.d`). `cprime` is an n-element scratch array
 /// (contiguous, caller-provided so batched loops can reuse it).
 /// Fails with SolveCode::zero_pivot if any forward-reduction denominator
-/// is exactly zero — use lu_gtsv for matrices that need pivoting.
+/// is zero or non-finite (a NaN pivot would otherwise stream NaNs through
+/// the whole solution under an ok() status) — use lu_gtsv for matrices
+/// that need pivoting.
+///
+/// When `guard` is non-null the pivot-growth estimate (see SolveStatus)
+/// is tracked and written there along with the final code/row; the extra
+/// per-row arithmetic is skipped entirely otherwise.
 template <typename T>
-SolveStatus thomas_solve(SystemRef<T> sys, StridedView<T> x, std::span<T> cprime) {
+SolveStatus thomas_solve(SystemRef<T> sys, StridedView<T> x, std::span<T> cprime,
+                         SolveStatus* guard = nullptr) {
   const std::size_t n = sys.size();
   if (x.size() != n || cprime.size() < n) return {SolveCode::bad_size, 0};
   if (n == 0) return {};
@@ -40,9 +49,23 @@ SolveStatus thomas_solve(SystemRef<T> sys, StridedView<T> x, std::span<T> cprime
   // three agree bitwise (rows with a_0 = 0 make i = 0 a plain b pivot).
   T cp = T(0);
   T dp = T(0);
+  double growth = 1.0;
   for (std::size_t i = 0; i < n; ++i) {
     const T denom = sys.b[i] - cp * sys.a[i];
-    if (denom == T(0)) return {SolveCode::zero_pivot, i};
+    // !(denom != 0) also catches a NaN denominator.
+    if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
+      const SolveStatus st{SolveCode::zero_pivot, i, growth};
+      if (guard != nullptr) *guard = st;
+      return st;
+    }
+    if (guard != nullptr) {
+      const double scale =
+          std::max({std::abs(static_cast<double>(sys.a[i])),
+                    std::abs(static_cast<double>(sys.b[i])),
+                    std::abs(static_cast<double>(sys.c[i]))});
+      const double ratio = scale / std::abs(static_cast<double>(denom));
+      if (ratio > growth) growth = ratio;
+    }
     const T inv = T(1) / denom;
     cp = sys.c[i] * inv;
     dp = (sys.d[i] - dp * sys.a[i]) * inv;
@@ -54,7 +77,10 @@ SolveStatus thomas_solve(SystemRef<T> sys, StridedView<T> x, std::span<T> cprime
   for (std::size_t i = n - 1; i-- > 0;) {
     x[i] = x[i] - cprime[i] * x[i + 1];
   }
-  return {};
+  SolveStatus st{};
+  st.pivot_growth = growth;
+  if (guard != nullptr) *guard = st;
+  return st;
 }
 
 /// Convenience overload that allocates its own scratch.

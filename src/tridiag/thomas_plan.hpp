@@ -12,6 +12,7 @@
 // This mirrors LAPACK's ?gttrf/?gtts2 split (without pivoting — the plan
 // rejects matrices whose pivot-free elimination breaks down).
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -36,20 +37,27 @@ class ThomasPlan {
     inv_.resize(n);
     status_ = {};
     T cp = T(0);
+    double growth = 1.0;  // pivot-growth estimate (see SolveStatus)
     for (std::size_t i = 0; i < n; ++i) {
       const T denom = sys.b[i] - cp * sys.a[i];
       // !(denom != 0) also catches NaN pivots (e.g. from an upstream
       // singular reduction).
       if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
-        status_ = {SolveCode::zero_pivot, i};
+        status_ = {SolveCode::zero_pivot, i, growth};
         return;
       }
+      const double scale = std::max({std::abs(static_cast<double>(sys.a[i])),
+                                     std::abs(static_cast<double>(sys.b[i])),
+                                     std::abs(static_cast<double>(sys.c[i]))});
+      const double ratio = scale / std::abs(static_cast<double>(denom));
+      if (ratio > growth) growth = ratio;
       const T inv = T(1) / denom;
       cp = sys.c[i] * inv;
       a_[i] = sys.a[i];
       cprime_[i] = cp;
       inv_[i] = inv;
     }
+    status_.pivot_growth = growth;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return inv_.size(); }

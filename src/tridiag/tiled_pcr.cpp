@@ -29,8 +29,10 @@ class LevelRing {
 }  // namespace
 
 template <typename T>
-TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k) {
+TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
+                                  SolveStatus* guard) {
   TiledPcrCounters counters;
+  if (guard != nullptr) *guard = {};
   const std::size_t n = sys.size();
   if (k == 0 || n == 0) return counters;
 
@@ -64,9 +66,15 @@ TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k) {
       const std::ptrdiff_t reach = static_cast<std::ptrdiff_t>(std::size_t{1} << (j - 1));
       const std::ptrdiff_t q = p - (2 * reach - 1);
       if (q < 0 || q >= sn) continue;
-      const Row<T> out = pcr_combine(level_row(j - 1, q - reach),
-                                     level_row(j - 1, q),
-                                     level_row(j - 1, q + reach));
+      const Row<T> lo = level_row(j - 1, q - reach);
+      const Row<T> mid = level_row(j - 1, q);
+      const Row<T> hi = level_row(j - 1, q + reach);
+      if (guard != nullptr) {
+        // Read-only divisor check; the elimination below is unchanged.
+        detail::guard_pcr_combine(*guard, lo, mid, hi,
+                                  static_cast<std::size_t>(q));
+      }
+      const Row<T> out = pcr_combine(lo, mid, hi);
       ++counters.eliminations;
       if (j == k) {
         // Final level: write through to the (in-place) output. Position q
@@ -161,8 +169,10 @@ TiledPcrCounters naive_tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
   return counters;
 }
 
-template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned);
-template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned);
+template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned,
+                                                  SolveStatus*);
+template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned,
+                                                   SolveStatus*);
 template TiledPcrCounters naive_tiled_pcr_reduce<float>(SystemRef<float>, unsigned,
                                                         std::size_t);
 template TiledPcrCounters naive_tiled_pcr_reduce<double>(SystemRef<double>, unsigned,

@@ -45,8 +45,15 @@ struct TiledPcrCounters {
 /// Streaming dependency-cached k-step PCR, in place. After it returns,
 /// `sys` holds 2^k interleaved independent systems (identical to
 /// pcr_reduce(sys, k), including bit-exact values).
+///
+/// When `guard` is non-null, every elimination's divisors are checked:
+/// a zero or non-finite PCR pivot flags SolveCode::zero_pivot (first
+/// offending position wins) and the pivot-growth estimate is tracked.
+/// Detection is read-only — guarded and unguarded runs produce
+/// bit-identical reduced systems.
 template <typename T>
-TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k);
+TiledPcrCounters tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
+                                  SolveStatus* guard = nullptr);
 
 /// Naive halo-tiled k-step PCR, in place: splits [0, n) into tiles of
 /// `tile_rows` outputs, each tile independently loading its halo and
@@ -55,8 +62,10 @@ template <typename T>
 TiledPcrCounters naive_tiled_pcr_reduce(SystemRef<T> sys, unsigned k,
                                         std::size_t tile_rows);
 
-extern template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned);
-extern template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned);
+extern template TiledPcrCounters tiled_pcr_reduce<float>(SystemRef<float>, unsigned,
+                                                         SolveStatus*);
+extern template TiledPcrCounters tiled_pcr_reduce<double>(SystemRef<double>, unsigned,
+                                                          SolveStatus*);
 extern template TiledPcrCounters naive_tiled_pcr_reduce<float>(SystemRef<float>,
                                                                unsigned, std::size_t);
 extern template TiledPcrCounters naive_tiled_pcr_reduce<double>(SystemRef<double>,

@@ -17,15 +17,36 @@ namespace tridsolve::tridiag {
 /// for the pivoting LU, exactly-singular) pivot is reported here instead.
 enum class SolveCode {
   ok,
-  zero_pivot,   ///< elimination hit a zero pivot (system not solvable by
-                ///< this pivot-free algorithm; see lu_gtsv for the referee)
-  singular,     ///< pivoting LU found the matrix exactly singular
-  bad_size,     ///< size mismatch between matrix, rhs, or workspace
+  near_singular,  ///< solve completed but pivot growth exceeded the guard
+                  ///< policy's limit — the answer may be badly amplified
+  zero_pivot,     ///< elimination hit a zero (or non-finite) pivot (system
+                  ///< not solvable by this pivot-free algorithm; see
+                  ///< lu_gtsv for the referee)
+  singular,       ///< pivoting LU found the matrix exactly singular
+  bad_size,       ///< size mismatch between matrix, rhs, or workspace
 };
+
+[[nodiscard]] constexpr const char* solve_code_name(SolveCode c) noexcept {
+  switch (c) {
+    case SolveCode::ok: return "ok";
+    case SolveCode::near_singular: return "near_singular";
+    case SolveCode::zero_pivot: return "zero_pivot";
+    case SolveCode::singular: return "singular";
+    case SolveCode::bad_size: return "bad_size";
+  }
+  return "?";
+}
 
 struct SolveStatus {
   SolveCode code = SolveCode::ok;
   std::size_t index = 0;  ///< offending row for zero_pivot/singular
+
+  /// Pivot-growth estimate: the largest ratio of a row's coefficient
+  /// magnitude to the elimination pivot it was divided by — roughly the
+  /// factor by which forward elimination can amplify rounding error.
+  /// O(1) for diagonally dominant systems; blows up as the matrix
+  /// approaches singularity. 1.0 when the solver does not track it.
+  double pivot_growth = 1.0;
 
   [[nodiscard]] bool ok() const noexcept { return code == SolveCode::ok; }
 };

@@ -10,15 +10,21 @@
 #include <vector>
 
 #include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/pthomas_kernel.hpp"
+#include "gpu_solvers/registry.hpp"
 #include "gpu_solvers/tiled_pcr_kernel.hpp"
 #include "gpu_solvers/zhang_pcr_thomas.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launch.hpp"
+#include "obs/metrics.hpp"
+#include "tridiag/batch_status.hpp"
 #include "tridiag/cyclic_reduction.hpp"
 #include "tridiag/lu_pivot.hpp"
 #include "tridiag/pcr.hpp"
 #include "tridiag/recursive_doubling.hpp"
+#include "tridiag/residual.hpp"
 #include "tridiag/thomas.hpp"
+#include "tridiag/tiled_pcr.hpp"
 #include "workloads/generators.hpp"
 
 namespace td = tridsolve::tridiag;
@@ -193,4 +199,290 @@ TEST(FailureInjection, WeakDominanceStillSolvesPoisson) {
       EXPECT_NEAR(batch.d()[batch.index(m, i)], x[i], 1e-6);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Guarded solve path (DESIGN.md "Guarded solve path"): detection must be
+// read-only and batched recovery must touch only the flagged systems.
+
+namespace {
+
+/// Diagonally dominant batch with one deliberately broken system: a zero
+/// diagonal entry keeps the matrix nonsingular (pivoting LU still solves
+/// it) but breaks every pivot-free elimination.
+td::SystemBatch<double> broken_batch(std::size_t m_count, std::size_t n,
+                                     std::size_t target, std::uint64_t seed) {
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, m_count, n,
+                                      td::Layout::contiguous, seed);
+  batch.b()[batch.index(target, 0)] = 0.0;
+  return batch;
+}
+
+}  // namespace
+
+TEST(GuardedSolve, ResidualInfPropagatesNanNotZero) {
+  Xoshiro256 rng(11);
+  td::TridiagSystem<double> sys(16);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  wl::fill_rhs_random(sys.ref(), rng);
+  std::vector<double> x(16, std::numeric_limits<double>::quiet_NaN());
+  const td::StridedView<const double> xv(x.data(), 16, 1);
+  // A fully-NaN "solution" must report NaN, never a reassuring 0.0.
+  EXPECT_TRUE(std::isnan(td::residual_inf(td::as_const(sys.ref()), xv)));
+  EXPECT_TRUE(std::isnan(td::relative_residual(td::as_const(sys.ref()), xv)));
+}
+
+TEST(GuardedSolve, RelativeResidualZeroDenominatorIsNan) {
+  td::TridiagSystem<double> zero(4);  // all-zero matrix, rhs and solution
+  std::vector<double> x(4, 0.0);
+  const td::StridedView<const double> xv(x.data(), 4, 1);
+  EXPECT_TRUE(std::isnan(td::relative_residual(td::as_const(zero.ref()), xv)));
+  // The NaN contract composes with NaN-safe gates: !(rel <= gate) flags it.
+  const double rel = td::relative_residual(td::as_const(zero.ref()), xv);
+  EXPECT_TRUE(!(rel <= 1e-8));
+}
+
+TEST(GuardedSolve, ThomasFlagsNanPivot) {
+  Xoshiro256 rng(12);
+  td::TridiagSystem<double> sys(32);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  wl::fill_rhs_random(sys.ref(), rng);
+  sys.b()[5] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> x(32);
+  const auto st =
+      td::thomas_solve(sys.ref(), td::StridedView<double>(x.data(), 32, 1));
+  EXPECT_EQ(st.code, td::SolveCode::zero_pivot);
+  EXPECT_EQ(st.index, 5u);
+}
+
+TEST(GuardedSolve, ThomasGuardTracksPivotGrowth) {
+  // Benign dominant system: growth stays far below the near-singular limit.
+  Xoshiro256 rng(13);
+  td::TridiagSystem<double> nice(64);
+  wl::fill_matrix(wl::Kind::random_dominant, nice.ref(), rng);
+  wl::fill_rhs_random(nice.ref(), rng);
+  std::vector<double> x(64);
+  std::vector<double> cprime(64);
+  td::SolveStatus guard;
+  ASSERT_TRUE(td::thomas_solve(nice.ref(),
+                               td::StridedView<double>(x.data(), 64, 1),
+                               std::span<double>(cprime), &guard)
+                  .ok());
+  EXPECT_GE(guard.pivot_growth, 1.0);
+  EXPECT_LT(guard.pivot_growth, td::default_growth_limit<double>());
+
+  // Tiny pivot with O(1) neighbours: growth explodes and the batch policy
+  // upgrades the system to near_singular.
+  td::TridiagSystem<double> wild(2);
+  wild.b()[0] = 1e-9;
+  wild.c()[0] = 1.0;
+  wild.a()[1] = 1.0;
+  wild.b()[1] = 4.0;
+  wild.d()[0] = 1.0;
+  wild.d()[1] = 1.0;
+  std::vector<double> y(2), cp2(2);
+  td::SolveStatus wild_guard;
+  ASSERT_TRUE(td::thomas_solve(wild.ref(),
+                               td::StridedView<double>(y.data(), 2, 1),
+                               std::span<double>(cp2), &wild_guard)
+                  .ok());
+  EXPECT_GT(wild_guard.pivot_growth, 1e8);
+  td::BatchStatus bs(1);
+  bs.absorb(0, wild_guard);
+  bs.apply_growth_limit(td::default_growth_limit<double>());
+  EXPECT_EQ(bs[0].code, td::SolveCode::near_singular);
+}
+
+TEST(GuardedSolve, HostTiledPcrGuardIsReadOnlyAndDetects) {
+  Xoshiro256 rng(14);
+  td::TridiagSystem<double> sys(128);
+  wl::fill_matrix(wl::Kind::random_dominant, sys.ref(), rng);
+  wl::fill_rhs_random(sys.ref(), rng);
+  auto guarded = sys.clone();
+  auto plain = sys.clone();
+
+  td::SolveStatus guard;
+  td::tiled_pcr_reduce(guarded.ref(), 3, &guard);
+  td::tiled_pcr_reduce(plain.ref(), 3);
+  EXPECT_EQ(guard.code, td::SolveCode::ok);
+  EXPECT_GE(guard.pivot_growth, 1.0);
+  for (std::size_t i = 0; i < 128; ++i) {
+    // Detection must not perturb a single bit of the reduction.
+    EXPECT_EQ(guarded.b()[i], plain.b()[i]);
+    EXPECT_EQ(guarded.d()[i], plain.d()[i]);
+  }
+
+  auto broken = sys.clone();
+  broken.b()[64] = 0.0;  // neighbour combines divide by this pivot
+  td::SolveStatus bad;
+  td::tiled_pcr_reduce(broken.ref(), 3, &bad);
+  EXPECT_EQ(bad.code, td::SolveCode::zero_pivot);
+}
+
+TEST(GuardedSolve, PthomasGuardFlagsExactlyTheBrokenLane) {
+  const auto dev = gs::gtx480();
+  const std::size_t m_count = 4, n = 48;
+  auto batch = broken_batch(m_count, n, 2, 15);
+  std::vector<td::SystemRef<double>> systems;
+  for (std::size_t m = 0; m < m_count; ++m) systems.push_back(batch.system(m));
+  std::vector<td::SolveStatus> guard(m_count);
+  gp::pthomas_solve<double>(dev, systems, {}, 128, guard);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (m == 2) {
+      EXPECT_EQ(guard[m].code, td::SolveCode::zero_pivot);
+      EXPECT_EQ(guard[m].index, 0u);
+    } else {
+      EXPECT_EQ(guard[m].code, td::SolveCode::ok);
+    }
+  }
+}
+
+TEST(GuardedSolve, HybridGuardIsFreeOnHealthyInput) {
+  const auto dev = gs::gtx480();
+  auto a = wl::make_batch<double>(wl::Kind::random_dominant, 4, 512,
+                                  td::Layout::contiguous, 16);
+  auto b = a.clone();
+
+  gp::HybridOptions guarded_opts;  // guard.detect defaults to true
+  const auto guarded = gp::hybrid_solve(dev, a, guarded_opts);
+  gp::HybridOptions plain_opts;
+  plain_opts.guard.detect = false;
+  const auto plain = gp::hybrid_solve(dev, b, plain_opts);
+
+  // Zero-cost contract: bit-identical solution, identical simulated time.
+  for (std::size_t i = 0; i < a.total_rows(); ++i) {
+    EXPECT_EQ(a.d()[i], b.d()[i]);
+  }
+  EXPECT_EQ(guarded.total_us(), plain.total_us());
+  EXPECT_EQ(guarded.flagged, 0u);
+  ASSERT_EQ(guarded.status.size(), 4u);
+  EXPECT_TRUE(guarded.status.all_ok());
+  EXPECT_TRUE(plain.status.empty());
+}
+
+TEST(GuardedSolve, HybridFallbackRecoversOnlyFlaggedSystem) {
+  const auto dev = gs::gtx480();
+  const std::size_t m_count = 6, n = 256, target = 3;
+  auto pristine = broken_batch(m_count, n, target, 17);
+  auto batch = pristine.clone();
+  auto reference = pristine.clone();  // guarded solve, no fallback
+
+  gp::HybridOptions detect_only;
+  const auto det = gp::hybrid_solve(dev, reference, detect_only);
+  ASSERT_EQ(det.flagged, 1u);
+  EXPECT_FALSE(det.status[target].ok());
+
+  gp::HybridOptions opts;
+  opts.guard.fallback = true;
+  const auto rep = gp::hybrid_solve(dev, batch, opts);
+  EXPECT_EQ(rep.flagged, 1u);
+  EXPECT_EQ(rep.fallback_solves, 1u);
+  EXPECT_EQ(rep.refine_steps, 0u);
+  // The code survives recovery as the detection record.
+  EXPECT_FALSE(rep.status[target].ok());
+
+  const auto& cp = pristine;
+  const auto& cb = batch;
+  for (std::size_t m = 0; m < m_count; ++m) {
+    if (m == target) {
+      // Recovered through pivoting LU from the pristine input.
+      EXPECT_LE(td::relative_residual(cp.system(m), cb.system(m).d), 1e-10);
+    } else {
+      EXPECT_TRUE(rep.status[m].ok());
+      // Untouched by recovery: bit-identical to the detect-only solve.
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(batch.d()[batch.index(m, i)],
+                  reference.d()[reference.index(m, i)]);
+      }
+    }
+  }
+}
+
+TEST(GuardedSolve, HybridRefinementRunsWhenGateForcesIt) {
+  const auto dev = gs::gtx480();
+  auto batch = broken_batch(4, 128, 1, 18);
+  gp::HybridOptions opts;
+  opts.guard.refine = true;  // implies fallback in the registry; here both:
+  opts.guard.fallback = true;
+  opts.guard.refine_gate = 1e-300;  // always below any residual: max steps
+  const auto rep = gp::hybrid_solve(dev, batch, opts);
+  EXPECT_EQ(rep.flagged, 1u);
+  EXPECT_EQ(rep.fallback_solves, 1u);
+  EXPECT_EQ(rep.refine_steps, 2u);  // RecoverOptions::max_refine_steps
+}
+
+TEST(GuardedSolve, RegistryFlagsOnlyTheSingularSystem) {
+  const auto dev = gs::gtx480();
+  const std::size_t m_count = 6, n = 64, target = 3;
+  auto good = wl::make_batch<double>(wl::Kind::random_dominant, m_count, n,
+                                     td::Layout::contiguous, 19);
+  auto bad = good.clone();
+  bad.b()[bad.index(target, 0)] = 0.0;
+
+  gp::SolverRunOptions ropts;
+  ropts.guard = true;
+  for (const auto kind : gp::all_solver_kinds()) {
+    SCOPED_TRACE(gp::solver_name(kind));
+    td::SystemBatch<double> good_x, bad_x;
+    const auto good_out = gp::run_solver(kind, dev, good, ropts, &good_x);
+    if (!good_out.supported) continue;  // size/config rejected: fine
+    EXPECT_EQ(good_out.flagged, 0u);
+    ASSERT_EQ(good_out.status.size(), m_count);
+    EXPECT_TRUE(good_out.status.all_ok());
+
+    const auto bad_out = gp::run_solver(kind, dev, bad, ropts, &bad_x);
+    ASSERT_TRUE(bad_out.supported);
+    EXPECT_EQ(bad_out.flagged, 1u);
+    EXPECT_FALSE(bad_out.status[target].ok());
+    for (std::size_t m = 0; m < m_count; ++m) {
+      if (m == target) continue;
+      EXPECT_TRUE(bad_out.status[m].ok());
+      // The broken system must not poison its batch-mates: their
+      // solutions are bit-identical to the all-good run.
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(bad_x.d()[bad_x.index(m, i)],
+                  good_x.d()[good_x.index(m, i)]);
+      }
+    }
+  }
+}
+
+TEST(GuardedSolve, RegistryFallbackRecoversEverySolverKind) {
+  const auto dev = gs::gtx480();
+  const std::size_t m_count = 6, n = 64, target = 3;
+  const auto bad = broken_batch(m_count, n, target, 20);
+
+  gp::SolverRunOptions ropts;
+  ropts.fallback = true;  // implies guard
+  for (const auto kind : gp::all_solver_kinds()) {
+    SCOPED_TRACE(gp::solver_name(kind));
+    td::SystemBatch<double> sol;
+    const auto out = gp::run_solver(kind, dev, bad, ropts, &sol);
+    if (!out.supported) continue;
+    EXPECT_EQ(out.flagged, 1u);
+    EXPECT_EQ(out.fallback_solves, 1u);
+    EXPECT_FALSE(out.status[target].ok());  // detection record survives
+    const auto& csol = sol;
+    for (std::size_t m = 0; m < m_count; ++m) {
+      EXPECT_LE(td::relative_residual(bad.system(m), csol.system(m).d), 1e-10);
+    }
+  }
+}
+
+TEST(GuardedSolve, GuardMetricsCountFlaggedAndRecovered) {
+  namespace obs = tridsolve::obs;
+  auto& reg = obs::MetricsRegistry::instance();
+  const double flagged0 = reg.counter("solver.guard.flagged");
+  const double fallback0 = reg.counter("solver.guard.fallback");
+
+  const auto dev = gs::gtx480();
+  const auto bad = broken_batch(4, 64, 1, 22);
+  gp::SolverRunOptions ropts;
+  ropts.fallback = true;
+  const auto out = gp::run_solver(gp::SolverKind::hybrid, dev, bad, ropts);
+  ASSERT_TRUE(out.supported);
+  ASSERT_EQ(out.flagged, 1u);
+
+  EXPECT_EQ(reg.counter("solver.guard.flagged"), flagged0 + 1.0);
+  EXPECT_EQ(reg.counter("solver.guard.fallback"), fallback0 + 1.0);
 }

@@ -7,7 +7,9 @@
 // JSONL checks, per line: parses as a JSON object; `bench` and `solver`
 // are non-empty strings; `m` and `n` are positive numbers; `time_us` is a
 // non-negative number; `phases` (when present) is an object of
-// non-negative numbers whose sum matches `time_us`.
+// non-negative numbers whose sum matches `time_us`; the optional guard
+// taxonomy fields (`guard_flagged`, `guard_fallback`, `guard_refined`)
+// are numbers >= 0.
 //
 // Chrome-trace checks: top-level object with a `traceEvents` array; every
 // event has a string `name` and `ph`; "X" (duration) events carry
@@ -90,6 +92,17 @@ std::size_t validate_jsonl(const std::string& path) {
     if (require_number(rec, "n", where) <= 0) fail(where + ": n <= 0");
     const double time_us = require_number(rec, "time_us", where);
     if (time_us < 0) fail(where + ": time_us < 0");
+
+    // Guard taxonomy fields are optional (hybrid records carry them);
+    // when present each must be a count >= 0.
+    for (const char* key :
+         {"guard_flagged", "guard_fallback", "guard_refined"}) {
+      if (const JsonValue* v = rec.find(key)) {
+        if (!v->is_number() || v->as_number() < 0) {
+          fail(where + ": \"" + key + "\" is not a number >= 0");
+        }
+      }
+    }
 
     if (const JsonValue* phases = rec.find("phases")) {
       if (!phases->is_object()) fail(where + ": phases is not an object");
