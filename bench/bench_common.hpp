@@ -137,8 +137,16 @@ class Telemetry {
         trace_(bench_),
         last_record_(std::chrono::steady_clock::now()) {
     // Every bench funnels through here, so this is the one place the
-    // shared --sim-threads / --instrument flags reach the engine.
+    // shared --sim-threads / --instrument / --check-hazards flags reach
+    // the engine.
     gpusim::configure_engine_from_cli(cli);
+    hazard_mode_ = gpusim::ExecutionEngine::instance().default_hazards();
+    if (hazard_mode_ != gpusim::HazardMode::off) {
+      for (auto& c : hazard_counters_) {
+        c.handle = obs::counter_handle(c.metric);
+        c.last = c.handle.value();
+      }
+    }
     if (const auto path = cli.get("json")) sink_ = obs::JsonlSink(*path);
     trace_path_ = cli.get_string("trace-json", "");
     metrics_path_ = cli.get_string("metrics-json", "");
@@ -207,6 +215,7 @@ class Telemetry {
     rec["launches"] = totals.launches;
     rec["transactions"] = totals.transactions;
     rec["coalescing_efficiency"] = totals.coalescing_efficiency();
+    annotate_hazards(rec);
     sink_.write(rec);
   }
 
@@ -240,10 +249,24 @@ class Telemetry {
     if (!rec.find("wall_us")) rec["wall_us"] = take_wall_us();
     if (!sink_.enabled()) return;
     rec["bench"] = bench_;
+    annotate_hazards(rec);
     sink_.write(rec);
   }
 
  private:
+  /// When hazard detection is on (--check-hazards), stamp the record with
+  /// the mode and the per-record deltas of the gpusim.hazard.* counters —
+  /// the findings attributable to the launches since the previous record.
+  /// Schema-checked by tools/validate_telemetry.
+  void annotate_hazards(obs::JsonValue& rec) {
+    if (hazard_mode_ == gpusim::HazardMode::off) return;
+    rec["hazard_mode"] = std::string(gpusim::hazard_mode_name(hazard_mode_));
+    for (auto& c : hazard_counters_) {
+      const double now = c.handle.value();
+      rec[c.field] = now - c.last;
+      c.last = now;
+    }
+  }
   /// Microseconds since the previous record (or construction).
   [[nodiscard]] double take_wall_us() noexcept {
     const auto now = std::chrono::steady_clock::now();
@@ -253,12 +276,27 @@ class Telemetry {
     return us;
   }
 
+  struct HazardCounter {
+    const char* metric;
+    const char* field;
+    obs::MetricsRegistry::Counter handle;
+    double last = 0.0;
+  };
+
   std::string bench_;
   obs::JsonlSink sink_;
   obs::ChromeTraceBuilder trace_;
   std::string trace_path_;
   std::string metrics_path_;
   std::chrono::steady_clock::time_point last_record_;
+  gpusim::HazardMode hazard_mode_ = gpusim::HazardMode::off;
+  HazardCounter hazard_counters_[5] = {
+      {"gpusim.hazard.raw", "hazard_raw", {}, 0.0},
+      {"gpusim.hazard.war", "hazard_war", {}, 0.0},
+      {"gpusim.hazard.waw", "hazard_waw", {}, 0.0},
+      {"gpusim.hazard.oob", "hazard_oob", {}, 0.0},
+      {"gpusim.hazard.divergence", "hazard_divergence", {}, 0.0},
+  };
 };
 
 inline std::string us(double v) { return util::Table::num(v, 1); }

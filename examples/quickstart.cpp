@@ -13,6 +13,9 @@
 //                          solve path")
 //   --refine               adds residual-gated iterative refinement after
 //                          the LU fallback
+//   --check-hazards        runs the simulated kernels under the shared-
+//                          memory hazard detector (detect|fatal) and
+//                          prints the findings (expected: none)
 
 #include <cstdio>
 
@@ -36,7 +39,8 @@ using namespace tridsolve;
 int main(int argc, char** argv) {
   const util::Cli cli(
       argc, argv, util::with_obs_flags({"n", "trace", "break-row", "refine"}));
-  gpusim::configure_engine_from_cli(cli);  // --sim-threads / --instrument
+  // --sim-threads / --instrument / --check-hazards
+  gpusim::configure_engine_from_cli(cli);
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const long break_row = cli.get_int("break-row", -1);
   const bool refine = cli.get_bool("refine", false);
@@ -130,6 +134,19 @@ int main(int argc, char** argv) {
     std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
                 "systems, functional_only (no simulated timing) on %s\n",
                 r_hybrid, report.k, report.reduced_systems, dev.name.c_str());
+  }
+  if (gpusim::ExecutionEngine::instance().default_hazards() !=
+      gpusim::HazardMode::off) {
+    // Sum the per-launch hazard findings over the whole solve. A clean
+    // run (the expected outcome) still reports tracked > 0, proving the
+    // detector actually inspected the kernels' shared accesses.
+    gpusim::HazardCounts hz;
+    for (const auto& seg : report.timeline.segments()) {
+      hz.merge(seg.stats.hazards);
+    }
+    std::printf("Hazards     : raw=%zu war=%zu waw=%zu oob=%zu divergence=%zu "
+                "(%zu shared accesses tracked)\n",
+                hz.raw, hz.war, hz.waw, hz.oob, hz.divergence, hz.tracked);
   }
   if (cli.get_bool("trace", false) && report.timeline.timed()) {
     std::fputs(

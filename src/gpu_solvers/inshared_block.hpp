@@ -39,6 +39,9 @@ void inshared_pcr_step(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
           i >= stride ? rows[i - stride] : ShRow<T>{T(0), T(1), T(0), T(0)};
       const ShRow<T> hi =
           i + stride < q ? rows[i + stride] : ShRow<T>{T(0), T(1), T(0), T(0)};
+      t.note_sread(rows[i]);
+      if (i >= stride) t.note_sread(rows[i - stride]);
+      if (i + stride < q) t.note_sread(rows[i + stride]);
       const T k1 = mid.a / lo.b;
       const T k2 = mid.c / hi.b;
       staged[i] = ShRow<T>{-lo.a * k1, mid.b - lo.c * k1 - hi.a * k2, -hi.c * k2,
@@ -49,6 +52,7 @@ void inshared_pcr_step(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
   });
   ctx.phase([&](gpusim::ThreadCtx& t) {
     for (std::size_t i = static_cast<std::size_t>(t.tid()); i < q; i += threads) {
+      t.note_swrite(rows[i]);
       rows[i] = staged[i];
     }
   });
@@ -69,6 +73,9 @@ void inshared_pthomas(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
       // Forward.
       T cp = T(0), dp = T(0);
       for (std::size_t i = r; i < q; i += num_subsystems) {
+        t.note_sread(rows[i]);
+        t.note_swrite(rows[i].c);
+        t.note_swrite(rows[i].d);
         const T denom = rows[i].b - cp * rows[i].a;
         const T inv = T(1) / denom;
         cp = rows[i].c * inv;
@@ -84,6 +91,9 @@ void inshared_pthomas(gpusim::BlockContext& ctx, std::span<ShRow<T>> rows,
       const std::size_t count = r < q ? (q - r + num_subsystems - 1) / num_subsystems : 0;
       for (std::size_t jj = count; jj-- > 0;) {
         const std::size_t i = r + jj * num_subsystems;
+        t.note_sread(rows[i].d);
+        t.note_sread(rows[i].c);
+        t.note_swrite(rows[i].d);
         const T x = first ? rows[i].d : rows[i].d - rows[i].c * x_next;
         first = false;
         rows[i].d = x;

@@ -110,11 +110,12 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
             guard[blk.base + lane] = guard_status(acc[lane]);
           }
         };
-        if (!ctx.recording()) {
+        if (!ctx.recording() && !ctx.hazard_checking()) {
           // Non-instrumented blocks (sampled / functional_only): the same
           // arithmetic in the same order — bit-exact with the recorded
           // path below, pinned by tests/test_sim_engine.cpp — without the
-          // per-access instrumentation plumbing.
+          // per-access instrumentation plumbing. Hazard checking forces
+          // the instrumented path so the detector sees every access.
           for (std::size_t i = 0; i < blk.rounds; ++i) {
             for (std::size_t lane = 0; lane < blk.lanes; ++lane) {
               const tridiag::SystemRef<T>& s = systems[blk.base + lane];
@@ -174,7 +175,7 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
       [&](gpusim::BlockContext& ctx) {
         const BlockLanes<T> blk(ctx, systems, block_threads);
         std::vector<T> x_next(blk.lanes, T(0));
-        if (!ctx.recording()) {
+        if (!ctx.recording() && !ctx.hazard_checking()) {
           // Bit-exact raw twin of the recorded path below (see forward).
           for (std::size_t r = 0; r < blk.rounds; ++r) {
             for (std::size_t lane = 0; lane < blk.lanes; ++lane) {

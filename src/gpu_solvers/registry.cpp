@@ -93,6 +93,8 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
   auto copy = batch.clone();
   std::optional<gpusim::ScopedInstrumentMode> instrument_guard;
   if (run_opts.instrument) instrument_guard.emplace(*run_opts.instrument);
+  std::optional<gpusim::ScopedHazardMode> hazard_guard;
+  if (run_opts.hazards) hazard_guard.emplace(*run_opts.hazards);
   try {
     switch (kind) {
       case SolverKind::hybrid:

@@ -50,6 +50,12 @@ struct SolverRunOptions {
   /// Instrumentation mode for every launch of the run; empty = engine
   /// default. functional_only runs report supported = false (no timing).
   std::optional<gpusim::InstrumentMode> instrument{};
+  /// Shared-memory hazard detection for every launch of the run; empty =
+  /// engine default (off unless --check-hazards). Detection is read-only:
+  /// outputs and simulated time are bit-identical with it on. In fatal
+  /// mode a flagged launch surfaces as supported = false with the finding
+  /// in `detail`.
+  std::optional<gpusim::HazardMode> hazards{};
   /// Collect a per-system SolveStatus: hybrid-family kernels report their
   /// own pivot guards; every solver additionally gets a post-hoc scan
   /// (non-finite solution entries, then a relative-residual gate) so even

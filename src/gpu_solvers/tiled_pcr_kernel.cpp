@@ -164,6 +164,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
           auto tail = win[g].tails[j];
           for (std::size_t i = static_cast<std::size_t>(t.tid()); i < tail.size();
                i += static_cast<std::size_t>(threads)) {
+            t.note_swrite(tail[i]);
             tail[i] = identity_srow<T>();
           }
         }
@@ -181,6 +182,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
             const std::size_t idx = cc * static_cast<std::size_t>(threads) +
                                     static_cast<std::size_t>(t.tid());
             const std::ptrdiff_t pos = wd.P + static_cast<std::ptrdiff_t>(idx);
+            t.note_swrite(wd.buf[0][idx]);
             if (pos >= 0 && pos < n) {
               const auto u = static_cast<std::size_t>(pos);
               wd.buf[0][idx] = SRow<T>{t.load(wd.w.sys.a.ptr(u)),
@@ -224,6 +226,9 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               const SRow<T>& lo = read(idx - static_cast<std::ptrdiff_t>(span_j));
               const SRow<T>& mid = read(idx - static_cast<std::ptrdiff_t>(reach));
               const SRow<T>& hi = read(idx);
+              t.note_sread(lo);
+              t.note_sread(mid);
+              t.note_sread(hi);
               // Position of the row this elimination produces (used for the
               // redundancy bookkeeping and guard attribution below).
               const std::ptrdiff_t pos =
@@ -238,6 +243,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
               // PCR elimination (Eqs. 5-6).
               const T k1 = mid.a / lo.b;
               const T k2 = mid.c / hi.b;
+              t.note_swrite(dst[static_cast<std::size_t>(idx)]);
               dst[static_cast<std::size_t>(idx)] =
                   SRow<T>{-lo.a * k1, mid.b - lo.c * k1 - hi.a * k2, -hi.c * k2,
                           mid.d - lo.d * k1 - hi.d * k2};
@@ -260,6 +266,8 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
             if (iter >= wd.iters) continue;
             const auto tid = static_cast<std::size_t>(t.tid());
             if (tid < span_j) {
+              t.note_sread(wd.buf[src_sel][S - span_j + tid]);
+              t.note_swrite(wd.tails[j - 1][tid]);
               wd.tails[j - 1][tid] = wd.buf[src_sel][S - span_j + tid];
             }
           }
@@ -282,6 +290,7 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
             }
             const auto u = static_cast<std::size_t>(pos);
             const SRow<T>& row = out[idx];
+            t.note_sread(row);
             if (cfg.fuse_thomas_forward) {
               // Thomas forward reduction of reduced system r(t), entirely
               // from shared/registers: store only (c', d').

@@ -18,6 +18,13 @@
 // Like WarpCoalescer, instances are pooled in per-worker scratch:
 // flush() clears group contents but keeps capacity, attach() retargets
 // the cost shard for the next block.
+//
+// Contracts: NOT thread-safe — each instance is owned by one engine
+// worker and never shared (workers' cost shards merge in block order, so
+// totals are bit-identical for any worker count). Accounting is
+// read-only with respect to kernel numerics: it never alters arena
+// contents or arithmetic. Units: serializations and extra replays are
+// cycle-equivalent counts per warp; widths/bytes are bytes.
 
 #include <cstdint>
 #include <cstddef>

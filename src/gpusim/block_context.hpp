@@ -21,6 +21,17 @@
 // launches) reuse warm buffers instead of allocating. A block constructed
 // with record=false executes functionally but skips all cost recording —
 // the sampled/functional_only fast paths of the execution engine.
+//
+// Contracts:
+//  * Thread-safety: a BlockContext (and the ThreadCtx handles it hands
+//    out) lives on one engine worker thread; nothing here is shared
+//    between concurrent blocks except read-only launch inputs.
+//  * Bit-exactness: phase() and phase_rounds() record identical costs for
+//    the same accesses, and neither cost recording, hazard tracking
+//    (`hazards != nullptr`) nor record=false changes any functional
+//    result — only what is observed about it.
+//  * Units: load/store sizes are bytes; flops are op-equivalents at the
+//    value type's precision; rounds are serialized-memory-round counts.
 
 #include <cassert>
 #include <cstddef>
@@ -32,6 +43,7 @@
 #include "gpusim/coalescer.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/hazard_tracker.hpp"
 #include "gpusim/shared_memory.hpp"
 
 namespace tridsolve::gpusim {
@@ -114,6 +126,23 @@ class ThreadCtx {
   template <typename T>
   void sstore(T* p, T v);
 
+  /// Hazard-only annotations for kernels that touch simulated shared
+  /// memory through raw references (spans from ctx.shared<T>()): they
+  /// record nothing into KernelCosts and are no-ops unless hazard
+  /// checking is enabled on this block. Annotate each raw shared read and
+  /// write so the detector sees the kernel's true barrier structure.
+  template <typename T>
+  void note_sread(const T& ref);
+  template <typename T>
+  void note_swrite(const T& ref);
+
+  /// Intra-phase barrier marker — the analogue of a __syncthreads()
+  /// *inside* the code between two phase boundaries. Purely observational
+  /// (no cost, no functional effect): the hazard detector uses it to
+  /// order accesses within a phase and to flag barrier divergence when
+  /// the threads of a block disagree on how many they executed.
+  void sync() noexcept;
+
   /// Close the current dependent-load round: subsequent loads belong to a
   /// new serialized memory round on this thread's critical path.
   void end_round() noexcept { ++round_; }
@@ -132,17 +161,22 @@ class BlockContext {
  public:
   BlockContext(const DeviceSpec& dev, std::size_t block_id,
                std::size_t grid_blocks, int block_threads,
-               WorkerScratch& scratch, KernelCosts& costs, bool record = true)
+               WorkerScratch& scratch, KernelCosts& costs, bool record = true,
+               HazardTracker* hazards = nullptr)
       : dev_(dev),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
         block_threads_(block_threads),
         scratch_(scratch),
         costs_(costs),
-        record_(record) {
+        record_(record),
+        hazards_(hazards) {
     assert(block_threads_ > 0);
     scratch_.prepare(dev_);
     scratch_.arena->reset();
+    if (hazards_ != nullptr) {
+      hazards_->begin_block(scratch_.arena.get(), block_id_, block_threads_);
+    }
     num_warps_ = (static_cast<std::size_t>(block_threads_) + dev_.warp_size - 1) /
                  dev_.warp_size;
     if (record_) {
@@ -159,6 +193,12 @@ class BlockContext {
   [[nodiscard]] int block_threads() const noexcept { return block_threads_; }
   [[nodiscard]] const DeviceSpec& device() const noexcept { return dev_; }
   [[nodiscard]] bool recording() const noexcept { return record_; }
+  /// True when a hazard detector is watching this block. Kernels with a
+  /// non-instrumented raw twin must take the instrumented path while
+  /// hazard checking so the detector sees every access.
+  [[nodiscard]] bool hazard_checking() const noexcept {
+    return hazards_ != nullptr;
+  }
 
   /// Allocate shared memory for this block (throws if over capacity).
   template <typename T>
@@ -182,6 +222,7 @@ class BlockContext {
       }
       ++costs_.barriers;
     }
+    if (hazards_ != nullptr) hazards_->end_phase();
   }
 
   /// Run one barrier-delimited phase in *lockstep* (round-major) order:
@@ -212,6 +253,7 @@ class BlockContext {
       }
       ++costs_.barriers;
     }
+    if (hazards_ != nullptr) hazards_->end_phase();
   }
 
   KernelCosts& costs() noexcept { return costs_; }
@@ -230,6 +272,17 @@ class BlockContext {
     scratch_.banks[current_warp_].record(ordinal, p, size);
   }
 
+  void hazard_access(const void* p, std::size_t size, int tid, bool is_write,
+                     bool expect_shared) {
+    if (hazards_ != nullptr) {
+      hazards_->access(p, size, tid, is_write, expect_shared);
+    }
+  }
+
+  void hazard_sync(int tid) noexcept {
+    if (hazards_ != nullptr) hazards_->sync(tid);
+  }
+
   const DeviceSpec& dev_;
   std::size_t block_id_;
   std::size_t grid_blocks_;
@@ -237,6 +290,7 @@ class BlockContext {
   WorkerScratch& scratch_;
   KernelCosts& costs_;
   bool record_;
+  HazardTracker* hazards_ = nullptr;
   std::size_t num_warps_ = 0;
   std::size_t current_warp_ = 0;
 };
@@ -244,26 +298,48 @@ class BlockContext {
 template <typename T>
 T ThreadCtx::load(const T* p) {
   block_->record_access(p, sizeof(T), /*is_write=*/false, round_);
+  block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/false,
+                        /*expect_shared=*/false);
   return *p;
 }
 
 template <typename T>
 void ThreadCtx::store(T* p, T v) {
   block_->record_access(p, sizeof(T), /*is_write=*/true, round_);
+  block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/true,
+                        /*expect_shared=*/false);
   *p = v;
 }
 
 template <typename T>
 T ThreadCtx::sload(const T* p) {
   block_->record_shared(p, sizeof(T), shared_ordinal_++);
+  block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/false,
+                        /*expect_shared=*/true);
   return *p;
 }
 
 template <typename T>
 void ThreadCtx::sstore(T* p, T v) {
   block_->record_shared(p, sizeof(T), shared_ordinal_++);
+  block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/true,
+                        /*expect_shared=*/true);
   *p = v;
 }
+
+template <typename T>
+void ThreadCtx::note_sread(const T& ref) {
+  block_->hazard_access(&ref, sizeof(T), tid_, /*is_write=*/false,
+                        /*expect_shared=*/true);
+}
+
+template <typename T>
+void ThreadCtx::note_swrite(const T& ref) {
+  block_->hazard_access(&ref, sizeof(T), tid_, /*is_write=*/true,
+                        /*expect_shared=*/true);
+}
+
+inline void ThreadCtx::sync() noexcept { block_->hazard_sync(tid_); }
 
 template <typename T>
 void ThreadCtx::flops(double n) {

@@ -13,6 +13,13 @@
 // buffer's capacity, and attach() redirects the instance at the next
 // block's cost shard. After warm-up the per-access path allocates only
 // when a round sees more distinct segments than any round before it.
+//
+// Contracts: NOT thread-safe — one instance per engine worker, never
+// shared across threads; per-worker cost shards merge in block order so
+// recorded totals are bit-identical for any --sim-threads value.
+// Recording is read-only w.r.t. kernel numerics. Units: transactions are
+// fixed-size segments of DeviceSpec::transaction_bytes (128 B on Fermi);
+// requested sizes are bytes.
 
 #include <cstdint>
 #include <cstddef>

@@ -1,5 +1,15 @@
 #pragma once
 // Aggregated cost counters recorded while a simulated kernel executes.
+//
+// Contracts: a plain value type with no internal synchronization — the
+// engine gives each worker a private shard and merges shards in block
+// order, so merged totals are bit-identical for any worker count
+// (merge() uses only order-independent sums plus one max). Units: ops
+// are op-equivalents (divisions pre-weighted by DeviceSpec::div_op_cost),
+// memory fields are counts of 128-B transactions / bytes / element
+// accesses, shared_serializations is extra conflict replays in
+// cycle-equivalents per warp. No time lives here — the timing model
+// converts costs to microseconds.
 
 #include <cstddef>
 

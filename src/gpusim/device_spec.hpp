@@ -5,6 +5,12 @@
 // values for the card the paper evaluates on. Only ratios and mechanisms
 // (occupancy, latency hiding, bandwidth, FP64 throttling, launch overhead)
 // matter for reproducing the paper's performance *shapes*; see DESIGN.md.
+//
+// Contracts: DeviceSpec is an immutable-after-construction value type —
+// copy freely, share across threads without synchronization. Units are
+// stated per field: clocks in GHz, bandwidth in GB/s, latencies and
+// barrier costs in shader cycles, launch overhead in microseconds,
+// memory sizes in bytes.
 
 #include <cstddef>
 #include <string>

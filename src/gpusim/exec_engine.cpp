@@ -39,6 +39,31 @@ InstrumentMode parse_instrument_mode(std::string_view name) {
                               "\" (expected exact|sampled|functional_only)");
 }
 
+const char* hazard_mode_name(HazardMode mode) noexcept {
+  switch (mode) {
+    case HazardMode::off:
+      return "off";
+    case HazardMode::detect:
+      return "detect";
+    case HazardMode::fatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+HazardMode parse_hazard_mode(std::string_view name) {
+  if (name == "off" || name == "false" || name == "no" || name == "0") {
+    return HazardMode::off;
+  }
+  if (name == "detect" || name == "true" || name == "yes" || name == "on" ||
+      name == "1") {
+    return HazardMode::detect;
+  }
+  if (name == "fatal") return HazardMode::fatal;
+  throw std::invalid_argument("unknown hazard mode \"" + std::string(name) +
+                              "\" (expected off|detect|fatal)");
+}
+
 namespace {
 
 /// Deterministic choice of which blocks record instrumentation, and which
@@ -140,6 +165,7 @@ struct ExecutionEngine::Impl {
   mutable std::mutex cfg_mu;
   std::size_t threads = default_sim_threads();
   InstrumentMode default_mode = InstrumentMode::exact;
+  HazardMode default_hazards = HazardMode::off;
   std::size_t sample_target = 16;
 
   // --- one launch at a time (nested launches are not a thing: kernels
@@ -158,6 +184,11 @@ struct ExecutionEngine::Impl {
   // Per-participant scratch; index 0 is the main (launching) thread,
   // worker i uses scratch[i + 1]. Only grown between launches.
   std::vector<std::unique_ptr<WorkerScratch>> scratch;
+
+  // Per-participant hazard trackers, parallel to `scratch`; allocated
+  // lazily on the first hazard-checked launch, inert otherwise.
+  std::vector<std::unique_ptr<HazardTracker>> trackers;
+  bool hazards_active = false;  ///< this launch runs with detection on
 
   // --- current job (written before the generation bump, read-only while
   // workers run; slots shards are disjoint per block) ---
@@ -208,6 +239,8 @@ struct ExecutionEngine::Impl {
     if (scratch_idx >= participants) return;
     try {
       WorkerScratch& ws = *scratch[scratch_idx];
+      HazardTracker* hz =
+          hazards_active ? trackers[scratch_idx].get() : nullptr;
       const detail::LaunchRequest& req = *job;
       const SamplePlan& pl = *plan;
       for (;;) {
@@ -220,7 +253,7 @@ struct ExecutionEngine::Impl {
           const std::size_t slot = pl.slot_of(b);
           const bool record = slot != SamplePlan::npos;
           BlockContext ctx(*req.dev, b, req.grid_blocks, req.block_threads,
-                           ws, record ? slots[slot] : ws.discard, record);
+                           ws, record ? slots[slot] : ws.discard, record, hz);
           req.body(req.user, ctx);
           if (record) slots[slot].shared_peak_bytes = ws.arena->block_peak();
         }
@@ -272,6 +305,16 @@ void ExecutionEngine::set_default_instrument(InstrumentMode mode) noexcept {
   impl_->default_mode = mode;
 }
 
+HazardMode ExecutionEngine::default_hazards() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->default_hazards;
+}
+
+void ExecutionEngine::set_default_hazards(HazardMode mode) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->default_hazards = mode;
+}
+
 std::size_t ExecutionEngine::sample_target() const noexcept {
   const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
   return impl_->sample_target;
@@ -289,6 +332,9 @@ void configure_engine_from_cli(const util::Cli& cli) {
   if (const auto mode = cli.get("instrument")) {
     engine.set_default_instrument(parse_instrument_mode(*mode));
   }
+  if (const auto mode = cli.get("check-hazards")) {
+    engine.set_default_hazards(parse_hazard_mode(*mode));
+  }
 }
 
 namespace detail {
@@ -305,6 +351,16 @@ LaunchOutcome execute_grid(const LaunchRequest& req) {
   im.plan = &plan;
   im.participants =
       std::min(engine.threads(), std::max<std::size_t>(req.grid_blocks, 1));
+  im.hazards_active = req.hazards != HazardMode::off;
+  if (im.hazards_active) {
+    if (im.trackers.size() < im.participants) {
+      im.trackers.resize(im.participants);
+    }
+    for (std::size_t i = 0; i < im.participants; ++i) {
+      if (!im.trackers[i]) im.trackers[i] = std::make_unique<HazardTracker>();
+      im.trackers[i]->begin_launch();
+    }
+  }
   im.chunk = std::max<std::size_t>(
       1, req.grid_blocks / (std::max<std::size_t>(im.participants, 1) * 8));
   im.next_block.store(0, std::memory_order_relaxed);
@@ -330,6 +386,30 @@ LaunchOutcome execute_grid(const LaunchRequest& req) {
   if (im.first_error) std::rethrow_exception(im.first_error);
 
   LaunchOutcome out;
+  if (im.hazards_active) {
+    // Deterministic merge: counts are sums (order-independent), the
+    // example is the finding from the lowest block id across workers.
+    for (std::size_t i = 0; i < im.participants; ++i) {
+      const HazardTracker& t = *im.trackers[i];
+      out.hazards.merge(t.counts());
+      const HazardExample& e = t.example();
+      if (e.valid &&
+          (!out.hazard_example.valid || e.block < out.hazard_example.block)) {
+        out.hazard_example = e;
+      }
+    }
+    note_hazards(out.hazards);
+    if (req.hazards == HazardMode::fatal && out.hazards.any()) {
+      throw std::runtime_error(
+          "gpusim: shared-memory hazard (fatal mode): " +
+          out.hazard_example.describe() + " [raw=" +
+          std::to_string(out.hazards.raw) + " war=" +
+          std::to_string(out.hazards.war) + " waw=" +
+          std::to_string(out.hazards.waw) + " oob=" +
+          std::to_string(out.hazards.oob) + " divergence=" +
+          std::to_string(out.hazards.divergence) + "]");
+    }
+  }
   if (req.mode == InstrumentMode::functional_only) return out;
 
   // Deterministic reduction: merge per-block shards in block order. All
@@ -377,6 +457,21 @@ void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
     bytes.add(static_cast<double>(costs.bytes_requested));
     barriers.add(static_cast<double>(costs.barriers));
   }
+}
+
+void note_hazards(const HazardCounts& hazards) noexcept {
+  static auto raw = obs::counter_handle("gpusim.hazard.raw");
+  static auto war = obs::counter_handle("gpusim.hazard.war");
+  static auto waw = obs::counter_handle("gpusim.hazard.waw");
+  static auto oob = obs::counter_handle("gpusim.hazard.oob");
+  static auto divergence = obs::counter_handle("gpusim.hazard.divergence");
+  static auto tracked = obs::counter_handle("gpusim.hazard.tracked");
+  raw.add(static_cast<double>(hazards.raw));
+  war.add(static_cast<double>(hazards.war));
+  waw.add(static_cast<double>(hazards.waw));
+  oob.add(static_cast<double>(hazards.oob));
+  divergence.add(static_cast<double>(hazards.divergence));
+  tracked.add(static_cast<double>(hazards.tracked));
 }
 
 }  // namespace detail

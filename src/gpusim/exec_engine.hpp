@@ -26,6 +26,13 @@
 // Thread count comes from --sim-threads / TRIDSOLVE_SIM_THREADS (default
 // hardware_concurrency); the main thread always participates, so 1 means
 // fully serial with zero pool traffic.
+//
+// Orthogonally, HazardMode selects shared-memory hazard detection
+// (hazard_tracker.hpp): `off` (default), `detect` (count + report via
+// gpusim.hazard.* metrics and LaunchStats), or `fatal` (a flagged launch
+// throws). Detection is read-only — it never alters outputs, recorded
+// costs, or simulated time — and per-worker trackers are merged
+// deterministically after the grid drains.
 
 #include <cstddef>
 #include <string>
@@ -53,6 +60,19 @@ enum class InstrumentMode {
 /// Throws std::invalid_argument on anything else.
 [[nodiscard]] InstrumentMode parse_instrument_mode(std::string_view name);
 
+enum class HazardMode {
+  off,     ///< no tracking (zero overhead)
+  detect,  ///< count hazards; report via metrics + LaunchStats
+  fatal,   ///< like detect, but a flagged launch throws std::runtime_error
+};
+
+[[nodiscard]] const char* hazard_mode_name(HazardMode mode) noexcept;
+
+/// Parse "off" / "detect" / "fatal" (plus boolean-switch spellings of
+/// --check-hazards: "true"/"1"/"yes"/"on" mean detect).
+/// Throws std::invalid_argument on anything else.
+[[nodiscard]] HazardMode parse_hazard_mode(std::string_view name);
+
 namespace detail {
 
 /// Type-erased block body: `user` is the address of the caller's callable.
@@ -63,6 +83,7 @@ struct LaunchRequest {
   std::size_t grid_blocks = 0;
   int block_threads = 0;
   InstrumentMode mode = InstrumentMode::exact;
+  HazardMode hazards = HazardMode::off;
   BlockBody body = nullptr;
   void* user = nullptr;
 };
@@ -71,6 +92,8 @@ struct LaunchOutcome {
   KernelCosts costs;                    ///< grid-scaled totals (empty when
                                         ///< functional_only)
   std::size_t instrumented_blocks = 0;  ///< blocks that actually recorded
+  HazardCounts hazards;                 ///< merged findings (detect/fatal)
+  HazardExample hazard_example;         ///< lowest-block-id finding, if any
 };
 
 /// Execute every block of the grid (parallel, pooled scratch) and reduce
@@ -82,6 +105,10 @@ struct LaunchOutcome {
 /// hashing per launch). `timed` mirrors LaunchStats::timed.
 void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
                  double overhead_us, const KernelCosts& costs) noexcept;
+
+/// Hazard-metric bookkeeping: bumps gpusim.hazard.{raw,war,waw,oob,
+/// divergence,tracked} for one launch that ran with detection enabled.
+void note_hazards(const HazardCounts& hazards) noexcept;
 
 }  // namespace detail
 
@@ -97,6 +124,9 @@ class ExecutionEngine {
 
   [[nodiscard]] InstrumentMode default_instrument() const noexcept;
   void set_default_instrument(InstrumentMode mode) noexcept;
+
+  [[nodiscard]] HazardMode default_hazards() const noexcept;
+  void set_default_hazards(HazardMode mode) noexcept;
 
   /// Approximate number of blocks the sampled mode instruments per launch
   /// (first/last/stride plan; small grids degenerate to exact coverage).
@@ -148,9 +178,24 @@ class ScopedInstrumentMode {
   InstrumentMode prev_;
 };
 
-/// Apply --sim-threads / --instrument flags (when present) to the engine.
-/// Benches call this once after parsing; flags come from
-/// util::with_obs_flags.
+/// RAII override of the default hazard-detection mode.
+class ScopedHazardMode {
+ public:
+  explicit ScopedHazardMode(HazardMode mode)
+      : prev_(ExecutionEngine::instance().default_hazards()) {
+    ExecutionEngine::instance().set_default_hazards(mode);
+  }
+  ~ScopedHazardMode() { ExecutionEngine::instance().set_default_hazards(prev_); }
+  ScopedHazardMode(const ScopedHazardMode&) = delete;
+  ScopedHazardMode& operator=(const ScopedHazardMode&) = delete;
+
+ private:
+  HazardMode prev_;
+};
+
+/// Apply --sim-threads / --instrument / --check-hazards flags (when
+/// present) to the engine. Benches call this once after parsing; flags
+/// come from util::with_obs_flags.
 void configure_engine_from_cli(const util::Cli& cli);
 
 }  // namespace tridsolve::gpusim

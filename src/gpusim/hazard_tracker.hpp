@@ -1,0 +1,272 @@
+#pragma once
+// Dynamic shared-memory hazard detector for the functional GPU model.
+//
+// The simulator executes the threads of a block sequentially, so an
+// intra-phase shared-memory race — two threads touching the same word
+// between barriers, which on hardware has no defined order — silently
+// produces *some* order-dependent result instead of failing. The
+// HazardTracker closes that gap: while a block runs, it records per
+// shared-arena-word read/write sets (accessing tid + barrier epoch) and
+// flags, between *distinct* threads inside the same barrier interval:
+//
+//   RAW   a thread reads a word another thread wrote this interval
+//   WAR   a thread overwrites a word another thread read this interval
+//   WAW   two threads write the same word in one interval
+//   OOB   a shared access outside the arena's allocated region
+//   DIV   barrier divergence: threads of one block disagree on how many
+//         intra-phase barriers (ThreadCtx::sync) they executed
+//
+// Accesses reach the tracker from ThreadCtx::load/store (when the pointer
+// lands inside the arena), from sload/sstore, and from the hazard-only
+// annotations note_sread/note_swrite that raw-access kernels (the tiled
+// PCR sliding window) carry. Epochs advance at every phase boundary and
+// at every uniform ThreadCtx::sync, so accesses separated by a barrier
+// never conflict.
+//
+// Contracts:
+//  * Detection is read-only: the tracker never touches KernelCosts, the
+//    arena contents, or the kernel's arithmetic, so a run with detection
+//    enabled is bit-identical in outputs and simulated time to one
+//    without (pinned by tests/test_hazards.cpp).
+//  * Thread-safety: one tracker belongs to one engine worker
+//    (WorkerScratch) and is only touched from that worker's thread; the
+//    engine merges per-worker counts after the launch (sums are
+//    order-independent, the reported example is the one from the lowest
+//    block id, so results are deterministic for any worker count).
+//  * Units: word granularity is 4 bytes (the shared-bank word); counts
+//    are conflicting *accesses* observed, not conflicting pairs.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/shared_memory.hpp"
+
+namespace tridsolve::gpusim {
+
+/// Per-launch hazard totals (merged across workers in deterministic
+/// fashion: every field is a sum).
+struct HazardCounts {
+  std::size_t raw = 0;         ///< read-after-write conflicts
+  std::size_t war = 0;         ///< write-after-read conflicts
+  std::size_t waw = 0;         ///< write-after-write conflicts
+  std::size_t oob = 0;         ///< out-of-bounds arena accesses
+  std::size_t divergence = 0;  ///< phases with non-uniform sync counts
+  std::size_t tracked = 0;     ///< shared accesses the tracker inspected
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return raw + war + waw + oob + divergence;
+  }
+  [[nodiscard]] bool any() const noexcept { return total() > 0; }
+
+  void merge(const HazardCounts& o) noexcept {
+    raw += o.raw;
+    war += o.war;
+    waw += o.waw;
+    oob += o.oob;
+    divergence += o.divergence;
+    tracked += o.tracked;
+  }
+};
+
+/// First finding of a launch (by block id, then program order within the
+/// block — deterministic for any worker count).
+struct HazardExample {
+  bool valid = false;
+  const char* kind = "";        ///< "raw"|"war"|"waw"|"oob"|"divergence"
+  std::size_t block = 0;        ///< block id the finding occurred in
+  std::size_t phase = 0;        ///< barrier-interval index within the block
+  std::size_t byte_offset = 0;  ///< arena byte offset of the word (not DIV)
+  int tid_a = -1;               ///< earlier-access thread (or first diverger)
+  int tid_b = -1;               ///< conflicting-access thread
+
+  [[nodiscard]] std::string describe() const {
+    if (!valid) return "no hazard";
+    std::string s = std::string(kind) + " hazard in block " +
+                    std::to_string(block) + ", phase " + std::to_string(phase);
+    if (std::string(kind) != "divergence") {
+      s += ", arena byte " + std::to_string(byte_offset);
+    }
+    if (tid_a >= 0) s += ", tid " + std::to_string(tid_a);
+    if (tid_b >= 0) s += " vs tid " + std::to_string(tid_b);
+    return s;
+  }
+};
+
+class HazardTracker {
+ public:
+  /// Reset the per-launch accumulators (counts + example). The word table
+  /// keeps its storage; stale entries are invalidated by epoch tags.
+  void begin_launch() noexcept {
+    counts_ = HazardCounts{};
+    example_ = HazardExample{};
+  }
+
+  /// Enter a block: bind the worker's arena, bump to a fresh epoch and
+  /// reset the per-thread sync counters.
+  void begin_block(const SharedArena* arena, std::size_t block_id,
+                   int block_threads) {
+    arena_ = arena;
+    block_ = block_id;
+    phase_ = 0;
+    next_epoch();
+    sync_counts_.assign(static_cast<std::size_t>(block_threads), 0);
+    if (arena_ != nullptr) {
+      const std::size_t words = (arena_->capacity() + kWord - 1) / kWord;
+      if (words_.size() < words) words_.resize(words);
+    }
+  }
+
+  /// Intra-phase barrier marker for thread `tid` (ThreadCtx::sync).
+  void sync(int tid) noexcept {
+    if (static_cast<std::size_t>(tid) < sync_counts_.size()) {
+      ++sync_counts_[static_cast<std::size_t>(tid)];
+    }
+  }
+
+  /// Close a barrier-delimited phase: flag divergence when threads saw
+  /// different numbers of intra-phase barriers, then open a new epoch.
+  void end_phase() {
+    if (!sync_counts_.empty()) {
+      const std::uint32_t first = sync_counts_.front();
+      for (std::size_t t = 1; t < sync_counts_.size(); ++t) {
+        if (sync_counts_[t] != first) {
+          ++counts_.divergence;
+          note_example("divergence", 0, 0, static_cast<int>(t));
+          break;
+        }
+      }
+      sync_counts_.assign(sync_counts_.size(), 0);
+    }
+    ++phase_;
+    next_epoch();
+  }
+
+  /// Record one access by `tid`. `expect_shared` marks calls that promise
+  /// a shared-memory pointer (sload/sstore, note_sread/note_swrite): for
+  /// those, a pointer outside the allocated arena region is an OOB
+  /// finding. Plain load/store pass false — pointers outside the arena
+  /// are ordinary global traffic and are ignored.
+  void access(const void* p, std::size_t bytes, int tid, bool is_write,
+              bool expect_shared) {
+    if (arena_ == nullptr || bytes == 0) return;
+    const auto* base = arena_->data();
+    const auto* q = static_cast<const std::byte*>(p);
+    if (q < base || q + bytes > base + arena_->capacity()) {
+      if (expect_shared) {
+        ++counts_.oob;
+        note_example("oob", 0, tid, -1);
+      }
+      return;  // global access (or already reported): nothing to track
+    }
+    const auto offset = static_cast<std::size_t>(q - base);
+    if (offset + bytes > arena_->used()) {
+      // Inside the arena but past the allocation high-water mark: out of
+      // every live ctx.shared<T>() span, whichever call style got here.
+      ++counts_.oob;
+      note_example("oob", offset, tid, -1);
+      return;
+    }
+    ++counts_.tracked;
+    const std::uint64_t e =
+        epoch_ + sync_counts_[std::min<std::size_t>(
+                     static_cast<std::size_t>(tid), sync_counts_.size() - 1)];
+    bool raw = false, war = false, waw = false;
+    std::size_t conflict_off = offset;
+    int other = -1;
+    for (std::size_t w = offset / kWord; w <= (offset + bytes - 1) / kWord;
+         ++w) {
+      Word& word = words_[w];
+      if (is_write) {
+        if (word.write_epoch == e && word.write_tid != tid && !waw) {
+          waw = true;
+          conflict_off = w * kWord;
+          other = word.write_tid;
+        }
+        if (word.read_epoch == e &&
+            (word.read_tid == kMultiTid || word.read_tid != tid) && !war) {
+          war = true;
+          conflict_off = w * kWord;
+          other = word.read_tid == kMultiTid ? -1 : word.read_tid;
+        }
+        word.write_epoch = e;
+        word.write_tid = tid;
+      } else {
+        if (word.write_epoch == e && word.write_tid != tid && !raw) {
+          raw = true;
+          conflict_off = w * kWord;
+          other = word.write_tid;
+        }
+        if (word.read_epoch == e) {
+          if (word.read_tid != tid) word.read_tid = kMultiTid;
+        } else {
+          word.read_epoch = e;
+          word.read_tid = tid;
+        }
+      }
+    }
+    if (raw) {
+      ++counts_.raw;
+      note_example("raw", conflict_off, other, tid);
+    }
+    if (war) {
+      ++counts_.war;
+      note_example("war", conflict_off, other, tid);
+    }
+    if (waw) {
+      ++counts_.waw;
+      note_example("waw", conflict_off, other, tid);
+    }
+  }
+
+  [[nodiscard]] const HazardCounts& counts() const noexcept { return counts_; }
+  [[nodiscard]] const HazardExample& example() const noexcept {
+    return example_;
+  }
+
+ private:
+  static constexpr std::size_t kWord = 4;  ///< shared-bank word, bytes
+  static constexpr int kMultiTid = -2;     ///< >1 distinct readers this epoch
+
+  struct Word {
+    std::uint64_t write_epoch = 0;
+    std::uint64_t read_epoch = 0;
+    int write_tid = -1;
+    int read_tid = -1;
+  };
+
+  /// Open a fresh epoch window. Strides stay clear of any realistic
+  /// per-phase sync count, so (epoch_ + sync_count) values never collide
+  /// across phases or blocks; epochs are monotone for the tracker's
+  /// lifetime, which keeps stale word-table entries inert without any
+  /// O(capacity) clearing.
+  void next_epoch() noexcept { epoch_ += kEpochStride; }
+  static constexpr std::uint64_t kEpochStride = std::uint64_t{1} << 32;
+
+  void note_example(const char* kind, std::size_t byte_offset, int tid_a,
+                    int tid_b) {
+    // Keep the finding from the lowest block id (first in program order
+    // within a block: `<` never replaces a same-block earlier finding).
+    if (example_.valid && example_.block <= block_) return;
+    example_.valid = true;
+    example_.kind = kind;
+    example_.block = block_;
+    example_.phase = phase_;
+    example_.byte_offset = byte_offset;
+    example_.tid_a = tid_a;
+    example_.tid_b = tid_b;
+  }
+
+  const SharedArena* arena_ = nullptr;
+  std::vector<Word> words_;
+  std::vector<std::uint32_t> sync_counts_;
+  std::uint64_t epoch_ = 0;
+  std::size_t block_ = 0;
+  std::size_t phase_ = 0;
+  HazardCounts counts_{};
+  HazardExample example_{};
+};
+
+}  // namespace tridsolve::gpusim

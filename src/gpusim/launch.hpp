@@ -27,6 +27,9 @@ struct LaunchConfig {
   /// Per-launch instrumentation override; empty = the engine's default
   /// (exact unless --instrument / ScopedInstrumentMode says otherwise).
   std::optional<InstrumentMode> instrument{};
+  /// Per-launch hazard-detection override; empty = the engine's default
+  /// (off unless --check-hazards / ScopedHazardMode says otherwise).
+  std::optional<HazardMode> hazards{};
 };
 
 /// Result of one simulated launch.
@@ -41,6 +44,11 @@ struct LaunchStats {
   /// Blocks that recorded instrumentation (grid size in exact mode, the
   /// sample size in sampled mode, 0 in functional_only).
   std::size_t instrumented_blocks = 0;
+  /// Shared-memory hazard findings (all zero when detection was off —
+  /// `hazards.tracked` distinguishes "clean" from "not checked").
+  HazardCounts hazards{};
+  /// First finding by block id; invalid when the launch was clean.
+  HazardExample hazard_example{};
 };
 
 /// Execute `body(BlockContext&)` for every block of the grid.
@@ -55,6 +63,8 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   const InstrumentMode mode = cfg.instrument
                                   ? *cfg.instrument
                                   : ExecutionEngine::instance().default_instrument();
+  const HazardMode hazards =
+      cfg.hazards ? *cfg.hazards : ExecutionEngine::instance().default_hazards();
 
   using Fn = std::remove_reference_t<KernelFn>;
   detail::LaunchRequest req;
@@ -62,6 +72,7 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   req.grid_blocks = cfg.grid_blocks;
   req.block_threads = cfg.block_threads;
   req.mode = mode;
+  req.hazards = hazards;
   req.user = const_cast<void*>(static_cast<const void*>(std::addressof(body)));
   req.body = [](void* user, BlockContext& ctx) {
     (*static_cast<Fn*>(user))(ctx);
@@ -72,6 +83,8 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   stats.config = cfg;
   stats.costs = outcome.costs;
   stats.instrumented_blocks = outcome.instrumented_blocks;
+  stats.hazards = outcome.hazards;
+  stats.hazard_example = outcome.hazard_example;
   stats.timed = mode != InstrumentMode::functional_only;
   if (stats.timed) {
     const int warps_per_block =

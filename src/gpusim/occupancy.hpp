@@ -4,6 +4,11 @@
 // key argument for fine-grained tiling — the tiled PCR's small shared
 // footprint admits more concurrent blocks than coarse-grained tiling,
 // hence better latency hiding (§III.A "advantages", §V).
+//
+// Contracts: pure functions of (DeviceSpec, launch shape) — no state, no
+// side effects, safe to call concurrently; the same inputs always return
+// the same result. Units: counts of blocks/warps/threads and an
+// occupancy fraction in [0, 1]; shared footprints in bytes.
 
 #include <cstddef>
 #include <string>

@@ -7,6 +7,15 @@
 // the device's per-block capacity throws — the same way a real launch
 // fails — so tests can assert capacity claims (e.g. Table I / Table III
 // configurations fitting in 48 KB).
+//
+// Contracts:
+//  * Thread-safety: one arena belongs to one engine worker (via
+//    WorkerScratch) and is only touched from that worker's thread; the
+//    execution engine never shares an arena between concurrent blocks.
+//  * Units: all sizes are bytes; peak()/block_peak() feed occupancy and
+//    the shared_peak_bytes cost counter unscaled.
+//  * The base pointer (data()) is stable for the arena's lifetime, which
+//    the hazard tracker relies on to map pointers back to word indices.
 
 #include <cstddef>
 #include <stdexcept>
@@ -52,6 +61,12 @@ class SharedArena {
   /// arena reuse across blocks and workers never conflates footprints.
   [[nodiscard]] std::size_t block_peak() const noexcept { return block_peak_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Stable base address of the arena storage (hazard tracking maps
+  /// accessed pointers to arena offsets against this).
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return storage_.data();
+  }
 
  private:
   std::vector<std::byte> storage_;

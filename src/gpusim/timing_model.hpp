@@ -14,6 +14,13 @@
 //
 // Plus fixed per-launch overhead, which is what repeated global-sync
 // relaunches (Davidson baseline) pay.
+//
+// Contracts: a pure function from (DeviceSpec, occupancy, KernelCosts)
+// to a KernelTiming — stateless, thread-safe, deterministic: identical
+// costs always price to bit-identical times, which is what lets the
+// engine's sampling/threading/hazard modes change nothing. All times are
+// in microseconds (the simulator's native unit, matching Chrome-trace
+// ts/dur).
 
 #include <cstddef>
 

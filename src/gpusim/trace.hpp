@@ -2,6 +2,12 @@
 // Human-readable reports of simulated kernel launches and timelines:
 // what ran, for how long, what bound it, how well it coalesced, and how
 // occupied the SMs were. Benches and examples print these with --trace.
+//
+// Contracts: pure formatting over already-recorded LaunchStats — reads
+// its inputs, mutates nothing, safe to call concurrently on distinct
+// Timeline objects. Times render in microseconds (or ms where labeled);
+// Timeline::total_us throws for functional-only runs rather than print
+// a fabricated number.
 
 #include <string>
 

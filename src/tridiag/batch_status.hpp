@@ -10,6 +10,14 @@
 // (tiled PCR, then p-Thomas, then a post-solve scan), each of which may
 // flag the same system; the most severe code and the largest pivot-growth
 // estimate win, and the first stage to flag keeps its offending row.
+//
+// Contracts: BatchStatus is a plain container with no synchronization —
+// concurrent writers must own disjoint slots (each p-Thomas lane owns one
+// system, each tiled-PCR block a disjoint window range), merging happens
+// post-launch in deterministic order. Detection is read-only: recording a
+// status changes no arithmetic and no simulated cost, so guarded runs are
+// bit-identical to unguarded ones. Pivot growth is the dimensionless
+// ratio max|coef| / |pivot|; rows are 0-based element indices.
 
 #include <cmath>
 #include <cstddef>

@@ -6,6 +6,12 @@
 // O(n) work, 2*log2(n) + 1 parallel steps. Arbitrary n is handled by
 // virtually padding to the next power of two with identity rows (whose
 // solution is 0 and which never perturb real rows).
+//
+// Contracts: free functions over caller-owned views — no global state,
+// reentrant, safe to call concurrently on disjoint systems. Deterministic:
+// the same input always produces the bit-identical solution (fixed
+// elimination order). Pivot-free: zero/NaN pivots propagate non-finite
+// values rather than trap (the guard layer detects them downstream).
 
 #include <cstddef>
 

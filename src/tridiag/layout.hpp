@@ -8,6 +8,13 @@
 //   which is exactly the coalescing-friendly layout p-Thomas wants (§III.B:
 //   "PCR naturally produces interleaved results which is perfect match
 //   with p-Thomas").
+//
+// Contracts: SystemBatch owns its storage and has no internal locking —
+// share read-only across threads freely; concurrent writers must target
+// disjoint systems. Layout converters copy element-for-element with no
+// arithmetic, so a round trip is bit-identical (and conversion row counts
+// are recorded as metrics, not charged as simulated time). Sizes are
+// element counts; strides are in elements, not bytes.
 
 #include <cstddef>
 

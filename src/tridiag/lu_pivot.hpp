@@ -5,6 +5,13 @@
 // fill-in, so this solver handles matrices the pivot-free Thomas/PCR
 // family cannot — it is the correctness referee for every other solver
 // in this repository.
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; deterministic
+// (row-interchange decisions depend only on the input values, so repeat
+// solves are bit-identical). lu_recover_flagged re-solves exactly the
+// flagged systems from pristine inputs and leaves every other system's
+// solution untouched bit-for-bit.
 
 #include <cstddef>
 #include <span>

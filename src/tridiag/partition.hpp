@@ -25,6 +25,11 @@
 // parallel back-substitution. Here it is implemented as a host algorithm
 // and cross-validated against the rest of the library; it is stable for
 // the diagonally dominant systems this library targets.
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; bit-deterministic
+// for a fixed packet size p. Pivot-free within packets: breakdown
+// propagates non-finite values for the guard layer to catch.
 
 #include <cstddef>
 

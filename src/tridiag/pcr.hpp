@@ -6,6 +6,12 @@
 // steps a size-n system decomposes into 2^k independent interleaved systems
 // (rows i ≡ r mod 2^k). Out-of-range neighbours are identity rows (0,1,0|0),
 // which makes the transform valid for any n, not just powers of two.
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; fixed evaluation
+// order makes repeat runs bit-identical, and tiled_pcr_reduce is pinned
+// bit-exact against this plain implementation. Pivot-free: bad divisors
+// propagate non-finite values for the guard layer to catch.
 
 #include <algorithm>
 #include <cmath>

@@ -11,6 +11,12 @@
 //
 // solve() reproduces pcr_reduce(...)+thomas_solve(...) bit for bit (same
 // arithmetic in the same order), which the tests assert.
+//
+// Contracts: building a plan mutates only the plan; solve() mutates only
+// the caller's d/x views — a fully built plan is immutable and may be
+// shared by concurrent solve() calls on distinct right-hand sides.
+// Factorization rejects matrices whose pivot-free elimination breaks
+// down instead of caching non-finite coefficients.
 
 #include <cstddef>
 #include <vector>

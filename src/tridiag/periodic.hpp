@@ -22,6 +22,13 @@
 // The two solves share coefficients, which is exactly the batched
 // workload shape the hybrid GPU solver exploits (see
 // gpu_solvers/periodic_gpu.hpp).
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems, bit-deterministic
+// (fixed inner-solver order). The Sherman-Morrison denominator 1 + v.z
+// is guarded: an exact zero reports SolveCode::zero_pivot instead of
+// dividing through; otherwise conditioning matches the underlying
+// solves.
 
 #include <cstddef>
 

@@ -9,6 +9,13 @@
 //   x_i  = d'_i - c'_i x_{i+1}          -> affine scan, backward
 // O(n log n) work, O(log n) parallel steps. Products are renormalized per
 // combine, so the scan is safe for long diagonally-dominant systems.
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; the scan combine
+// order is fixed, so repeat runs are bit-identical. Note RD's
+// reassociated arithmetic is NOT bit-equal to Thomas — agreement is to
+// rounding (tests compare against a tolerance), unlike the tiled-PCR /
+// PCR pair which is exactly bit-equal.
 
 #include <cstddef>
 

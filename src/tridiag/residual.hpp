@@ -1,5 +1,14 @@
 #pragma once
 // Residual and error metrics for solver validation.
+//
+// Contracts: pure read-only functions over caller-owned views — no
+// state, thread-safe, deterministic. NaN-propagating by design: a NaN
+// solution entry or a zero normalization denominator yields NaN, never a
+// reassuring 0.0 — this is what makes the guard layer's residual gate
+// sound (gates must be written NaN-safe: `!(rel <= gate)`).
+// residual_inf is an absolute infinity-norm in the units of d;
+// relative_residual is the dimensionless ||d - Ax||_inf / (||A||_inf
+// ||x||_inf + ||d||_inf).
 
 #include <cstddef>
 

@@ -6,6 +6,14 @@
 // after k PCR steps each reduced system lives at stride 2^k in the original
 // arrays, so one function serves the plain CPU path (stride 1), the
 // interleaved batched path (stride M) and the post-PCR path (stride 2^k).
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; fixed sweep order
+// makes repeat runs bit-identical, and the simulated p-Thomas kernel is
+// pinned bit-exact against this host routine. Pivot-free: the optional
+// SolveStatus* out-param reports zero/NaN pivots and pivot growth
+// without changing any arithmetic (read-only detection); strides are in
+// elements.
 
 #include <algorithm>
 #include <cmath>

@@ -11,6 +11,12 @@
 //
 // This mirrors LAPACK's ?gttrf/?gtts2 split (without pivoting — the plan
 // rejects matrices whose pivot-free elimination breaks down).
+//
+// Contracts: factoring mutates only the plan; solve() mutates only the
+// caller's views — a built plan is immutable and may back concurrent
+// solve() calls on distinct right-hand sides. solve() is pinned bitwise
+// identical to a direct thomas_solve of the same system (same
+// arithmetic, same order — see tests/test_thomas_plan.cpp).
 
 #include <algorithm>
 #include <cmath>

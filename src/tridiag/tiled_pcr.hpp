@@ -19,6 +19,13 @@
 //   redundancy rather than assert it.
 //
 // Both return counters so benches and tests can verify the claims.
+//
+// Contracts: free functions over caller-owned views — stateless,
+// reentrant, safe concurrently on disjoint systems; tiled_pcr_reduce is
+// pinned bit-exact against plain pcr_reduce for every (n, k, tile)
+// tested. The optional SolveStatus* divisor guard is read-only: it
+// changes no arithmetic. Redundancy counters (loads / eliminations) are
+// plain element counts, also reported via the metrics registry.
 
 #include <cstddef>
 #include <vector>

@@ -5,6 +5,13 @@
 // works on the SoA representation the paper assumes: four arrays a, b, c, d
 // where row i of A x = d is   a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i],
 // with a[0] = 0 and c[n-1] = 0 (Eq. 1 of the paper).
+//
+// Contracts: StridedView/SystemRef are non-owning views with no
+// synchronization — lifetime and aliasing are the caller's problem, and
+// concurrent access is safe only when the underlying elements are
+// disjoint (or all access is read-only). TridiagSystem owns its arrays.
+// Sizes and strides are in elements, not bytes; strides come up as 1
+// (contiguous), M (interleaved batch) and 2^k (post-PCR).
 
 #include <cstddef>
 #include <span>

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace tridsolve::util {
@@ -19,6 +21,17 @@ Cli::Cli(int argc, const char* const* argv,
       continue;
     }
     arg.erase(0, 2);
+    if (arg == "help") {
+      // One flag per line, sorted: tools/check_docs parses this output to
+      // cross-check the README flag reference, so keep the format stable.
+      std::vector<std::string> sorted = known_flags;
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      std::printf("usage: %s [--flag[=value]]...\nflags:\n",
+                  argc > 0 ? argv[0] : "prog");
+      for (const std::string& f : sorted) std::printf("  --%s\n", f.c_str());
+      std::exit(0);
+    }
     std::string name;
     std::string value;
     if (const auto eq = arg.find('='); eq != std::string::npos) {
@@ -71,7 +84,7 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
 std::vector<std::string> with_obs_flags(std::vector<std::string> flags) {
   for (const char* name :
        {"json", "trace-json", "metrics-json", "format", "csv", "sim-threads",
-        "instrument", "repeat"}) {
+        "instrument", "repeat", "check-hazards"}) {
     if (std::find(flags.begin(), flags.end(), name) == flags.end()) {
       flags.emplace_back(name);
     }

@@ -3,7 +3,9 @@
 //
 // Supports `--name=value` and `--name value` forms plus boolean switches.
 // Unknown flags are an error so bench sweeps fail loudly instead of
-// silently running the default configuration.
+// silently running the default configuration. `--help` prints the
+// accepted flags (one per line, machine-parseable — tools/check_docs
+// cross-checks them against the README flag reference) and exits 0.
 
 #include <cstdint>
 #include <map>
@@ -48,6 +50,7 @@ class Cli {
 ///   --sim-threads N       simulator worker threads (0 = default)
 ///   --instrument MODE     exact | sampled | functional_only
 ///   --repeat N            repetitions per configuration (with warmup)
+///   --check-hazards [MODE] shared-memory hazard detection: detect | fatal
 /// Returns `flags` with those names appended, for the Cli constructor.
 [[nodiscard]] std::vector<std::string> with_obs_flags(
     std::vector<std::string> flags);

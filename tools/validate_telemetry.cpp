@@ -9,7 +9,10 @@
 // non-negative number; `phases` (when present) is an object of
 // non-negative numbers whose sum matches `time_us`; the optional guard
 // taxonomy fields (`guard_flagged`, `guard_fallback`, `guard_refined`)
-// are numbers >= 0.
+// are numbers >= 0; the hazard block (present when the producing bench
+// ran with --check-hazards) is all-or-nothing: `hazard_mode` must be
+// "detect" or "fatal" and every `hazard_{raw,war,waw,oob,divergence}`
+// counter must be a number >= 0.
 //
 // Chrome-trace checks: top-level object with a `traceEvents` array; every
 // event has a string `name` and `ph`; "X" (duration) events carry
@@ -100,6 +103,34 @@ std::size_t validate_jsonl(const std::string& path) {
       if (const JsonValue* v = rec.find(key)) {
         if (!v->is_number() || v->as_number() < 0) {
           fail(where + ": \"" + key + "\" is not a number >= 0");
+        }
+      }
+    }
+
+    // Hazard block: written together by bench::Telemetry, so a partial
+    // block means the producer (or the schema) drifted.
+    static constexpr const char* hazard_keys[] = {
+        "hazard_raw", "hazard_war", "hazard_waw", "hazard_oob",
+        "hazard_divergence"};
+    const bool has_mode = rec.find("hazard_mode") != nullptr;
+    bool has_any_count = false, has_all_counts = true;
+    for (const char* key : hazard_keys) {
+      if (rec.find(key)) has_any_count = true;
+      else has_all_counts = false;
+    }
+    if (has_mode || has_any_count) {
+      if (!has_mode || !has_all_counts) {
+        fail(where + ": partial hazard block (need hazard_mode plus all five"
+             " hazard_{raw,war,waw,oob,divergence} counters)");
+      }
+      const std::string mode = require_string(rec, "hazard_mode", where);
+      if (mode != "detect" && mode != "fatal") {
+        fail(where + ": hazard_mode \"" + mode +
+             "\" is not \"detect\" or \"fatal\"");
+      }
+      for (const char* key : hazard_keys) {
+        if (require_number(rec, key, where) < 0) {
+          fail(where + ": \"" + std::string(key) + "\" < 0");
         }
       }
     }
