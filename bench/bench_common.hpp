@@ -147,6 +147,13 @@ class Telemetry {
         c.last = c.handle.value();
       }
     }
+    fault_plan_ = gpusim::ExecutionEngine::instance().fault_plan();
+    if (fault_plan_.active()) {
+      for (auto& c : fault_counters_) {
+        c.handle = obs::counter_handle(c.metric);
+        c.last = c.handle.value();
+      }
+    }
     if (const auto path = cli.get("json")) sink_ = obs::JsonlSink(*path);
     trace_path_ = cli.get_string("trace-json", "");
     metrics_path_ = cli.get_string("metrics-json", "");
@@ -216,6 +223,7 @@ class Telemetry {
     rec["transactions"] = totals.transactions;
     rec["coalescing_efficiency"] = totals.coalescing_efficiency();
     annotate_hazards(rec);
+    annotate_faults(rec);
     sink_.write(rec);
   }
 
@@ -250,6 +258,7 @@ class Telemetry {
     if (!sink_.enabled()) return;
     rec["bench"] = bench_;
     annotate_hazards(rec);
+    annotate_faults(rec);
     sink_.write(rec);
   }
 
@@ -262,6 +271,21 @@ class Telemetry {
     if (hazard_mode_ == gpusim::HazardMode::off) return;
     rec["hazard_mode"] = std::string(gpusim::hazard_mode_name(hazard_mode_));
     for (auto& c : hazard_counters_) {
+      const double now = c.handle.value();
+      rec[c.field] = now - c.last;
+      c.last = now;
+    }
+  }
+  /// When fault injection is armed (--fault-rate / --fault-seed /
+  /// --fault-kinds), stamp the record with the plan's seed and rate plus
+  /// the per-record deltas of the gpusim.fault.* counters — the
+  /// injections attributable to the launches since the previous record.
+  /// Schema-checked (all-or-nothing) by tools/validate_telemetry.
+  void annotate_faults(obs::JsonValue& rec) {
+    if (!fault_plan_.active()) return;
+    rec["fault_seed"] = fault_plan_.seed;
+    rec["fault_rate"] = fault_plan_.rate;
+    for (auto& c : fault_counters_) {
       const double now = c.handle.value();
       rec[c.field] = now - c.last;
       c.last = now;
@@ -296,6 +320,14 @@ class Telemetry {
       {"gpusim.hazard.waw", "hazard_waw", {}, 0.0},
       {"gpusim.hazard.oob", "hazard_oob", {}, 0.0},
       {"gpusim.hazard.divergence", "hazard_divergence", {}, 0.0},
+  };
+  gpusim::FaultPlan fault_plan_;
+  HazardCounter fault_counters_[5] = {
+      {"gpusim.fault.bit_flips", "fault_bit_flips", {}, 0.0},
+      {"gpusim.fault.shared_corruptions", "fault_shared_corruptions", {}, 0.0},
+      {"gpusim.fault.nan_writes", "fault_nan_writes", {}, 0.0},
+      {"gpusim.fault.launch_failures", "fault_launch_failures", {}, 0.0},
+      {"gpusim.fault.timeouts", "fault_timeouts", {}, 0.0},
   };
 };
 

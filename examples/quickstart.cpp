@@ -16,11 +16,22 @@
 //   --check-hazards        runs the simulated kernels under the shared-
 //                          memory hazard detector (detect|fatal) and
 //                          prints the findings (expected: none)
+//   --fault-seed/--fault-rate/--fault-kinds
+//                          arm the deterministic fault injector; the solve
+//                          switches to the resilient pipeline (retry →
+//                          fallback chain → partial result) and prints the
+//                          resilience report
+//   --deadline-us/--max-retries
+//                          resilient-pipeline budget knobs (also switch
+//                          the solve onto the resilient pipeline)
 
 #include <cstdio>
+#include <string>
+#include <utility>
 
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/registry.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/exec_engine.hpp"
 #include "gpusim/trace.hpp"
@@ -95,12 +106,31 @@ int main(int argc, char** argv) {
     }
   }
   const auto dev = gpusim::gtx480();
-  gpu::HybridOptions hopts;
-  // Guard detection is always on (it is free); recovery is armed when a
-  // breakdown is being demonstrated or refinement was requested.
-  hopts.guard.fallback = break_row >= 0 || refine;
-  hopts.guard.refine = refine;
-  const auto report = gpu::hybrid_solve(dev, batch, hopts);
+  // Fault injection or an explicit deadline/retry budget switches the
+  // solve onto the resilient pipeline (DESIGN.md "Fault injection &
+  // resilience"): retries, fallback chain, partial results — never a
+  // crash on an injected fault.
+  const bool resilient_mode =
+      gpusim::ExecutionEngine::instance().fault_plan().active() ||
+      cli.has("deadline-us") || cli.has("max-retries");
+  gpu::HybridReport report;
+  gpu::ResilientOutcome resil;
+  if (resilient_mode) {
+    gpu::SolverRunOptions ropts;
+    ropts.guard = true;
+    tridiag::SystemBatch<double> solved;
+    resil = gpu::run_solver_resilient<double>(
+        gpu::SolverKind::hybrid, dev, batch, ropts,
+        gpu::engine_resilience_policy(), &solved);
+    batch = std::move(solved);  // recovered solutions (or pristine d)
+  } else {
+    gpu::HybridOptions hopts;
+    // Guard detection is always on (it is free); recovery is armed when a
+    // breakdown is being demonstrated or refinement was requested.
+    hopts.guard.fallback = break_row >= 0 || refine;
+    hopts.guard.refine = refine;
+    report = gpu::hybrid_solve(dev, batch, hopts);
+  }
 
   // Residuals against the original system.
   const auto sys_c = tridiag::as_const(sys.ref());
@@ -116,27 +146,46 @@ int main(int argc, char** argv) {
     std::printf("Thomas      : relative residual %.3e\n", r_thomas);
   }
   std::printf("LU (gtsv)   : relative residual %.3e\n", r_lu);
-  if (report.flagged > 0) {
+  if (resilient_mode) {
+    const auto& rep = resil.report;
+    const auto& out = resil.outcome;
+    std::printf("Hybrid (resilient): relative residual %.3e, k=%d, %.1f us "
+                "simulated on %s\n",
+                r_hybrid, out.k, out.time_us, dev.name.c_str());
+    std::printf("Resilience  : %zu attempt(s), %zu retrie(s), %zu fallback "
+                "stage(s), worst=%s%s%s\n",
+                rep.attempts.size(), rep.retries, rep.fallback_stages,
+                tridiag::solve_code_name(rep.worst),
+                rep.partial ? ", PARTIAL" : "",
+                rep.deadline_exceeded ? ", DEADLINE EXCEEDED" : "");
+    std::printf("Faults      : flips=%zu shared=%zu nan=%zu launch=%zu "
+                "timeout=%zu\n",
+                out.faults.bit_flips, out.faults.shared_corruptions,
+                out.faults.nan_writes, out.faults.launch_failures,
+                out.faults.timeouts);
+  }
+  if (!resilient_mode && report.flagged > 0) {
     std::printf("Guard       : %zu system(s) flagged (%s at row %zu, growth "
                 "%.2e), %zu LU fallback solve(s), %zu refinement step(s)\n",
                 report.flagged, tridiag::solve_code_name(report.status[0].code),
                 report.status[0].index, report.status[0].pivot_growth,
                 report.fallback_solves, report.refine_steps);
   }
-  if (report.timeline.timed()) {
+  if (!resilient_mode && report.timeline.timed()) {
     std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
                 "systems, %.1f us simulated on %s (PCR share %.0f%%)\n",
                 r_hybrid, report.k, report.reduced_systems, report.total_us(),
                 dev.name.c_str(), 100.0 * report.pcr_fraction());
-  } else {
+  } else if (!resilient_mode) {
     // --instrument functional: the engine recorded no costs, so there is
     // no simulated time to report (and total_us() would refuse).
     std::printf("Hybrid (sim): relative residual %.3e, k=%u, %zu reduced "
                 "systems, functional_only (no simulated timing) on %s\n",
                 r_hybrid, report.k, report.reduced_systems, dev.name.c_str());
   }
-  if (gpusim::ExecutionEngine::instance().default_hazards() !=
-      gpusim::HazardMode::off) {
+  if (!resilient_mode &&
+      gpusim::ExecutionEngine::instance().default_hazards() !=
+          gpusim::HazardMode::off) {
     // Sum the per-launch hazard findings over the whole solve. A clean
     // run (the expected outcome) still reports tracked > 0, proving the
     // detector actually inspected the kernels' shared accesses.
@@ -148,7 +197,8 @@ int main(int argc, char** argv) {
                 "(%zu shared accesses tracked)\n",
                 hz.raw, hz.war, hz.waw, hz.oob, hz.divergence, hz.tracked);
   }
-  if (cli.get_bool("trace", false) && report.timeline.timed()) {
+  if (!resilient_mode && cli.get_bool("trace", false) &&
+      report.timeline.timed()) {
     std::fputs(
         gpusim::timeline_table(dev, report.timeline, "hybrid solve timeline")
             .to_ascii()
@@ -159,7 +209,7 @@ int main(int argc, char** argv) {
   // Structured observability outputs (see DESIGN.md "Observability").
   // Both consume simulated times, so neither exists in functional_only.
   if (const std::string trace_path = cli.get_string("trace-json", "");
-      !trace_path.empty() && report.timeline.timed()) {
+      !resilient_mode && !trace_path.empty() && report.timeline.timed()) {
     obs::ChromeTraceBuilder trace("quickstart");
     trace.add_timeline(dev, report.timeline,
                        "hybrid N=" + std::to_string(n));
@@ -168,19 +218,50 @@ int main(int argc, char** argv) {
                 trace_path.c_str());
   }
   if (const std::string jsonl_path = cli.get_string("json", "");
-      !jsonl_path.empty() && report.timeline.timed()) {
+      !jsonl_path.empty() && (resilient_mode || report.timeline.timed())) {
     obs::JsonlSink sink(jsonl_path);
     obs::JsonValue rec = obs::JsonValue::object();
     rec["bench"] = "quickstart";
-    rec["solver"] = "hybrid";
     rec["m"] = 1.0;
     rec["n"] = static_cast<double>(n);
-    rec["time_us"] = report.total_us();
-    rec["k"] = static_cast<double>(report.k);
     rec["residual"] = r_hybrid;
-    rec["guard_flagged"] = static_cast<double>(report.flagged);
-    rec["guard_fallback"] = static_cast<double>(report.fallback_solves);
-    rec["guard_refined"] = static_cast<double>(report.refine_steps);
+    if (resilient_mode) {
+      const auto& rep = resil.report;
+      const auto& out = resil.outcome;
+      rec["solver"] = "hybrid-resilient";
+      rec["time_us"] = out.time_us;
+      rec["k"] = static_cast<double>(out.k);
+      rec["guard_flagged"] = static_cast<double>(out.flagged);
+      // fault_* group (all-or-nothing, tools/validate_telemetry): present
+      // exactly when a FaultPlan is armed; counts are this record's own
+      // injections (one record per process here, so totals == deltas).
+      const auto& plan = gpusim::ExecutionEngine::instance().fault_plan();
+      if (plan.active()) {
+        rec["fault_seed"] = static_cast<double>(plan.seed);
+        rec["fault_rate"] = plan.rate;
+        rec["fault_bit_flips"] = static_cast<double>(out.faults.bit_flips);
+        rec["fault_shared_corruptions"] =
+            static_cast<double>(out.faults.shared_corruptions);
+        rec["fault_nan_writes"] = static_cast<double>(out.faults.nan_writes);
+        rec["fault_launch_failures"] =
+            static_cast<double>(out.faults.launch_failures);
+        rec["fault_timeouts"] = static_cast<double>(out.faults.timeouts);
+      }
+      // resilience_* group (all-or-nothing): what the pipeline did.
+      rec["resilience_retries"] = static_cast<double>(rep.retries);
+      rec["resilience_fallbacks"] = static_cast<double>(rep.fallback_stages);
+      rec["resilience_spent_us"] = rep.spent_us;
+      rec["resilience_partial"] = rep.partial ? 1.0 : 0.0;
+      rec["resilience_deadline_exceeded"] = rep.deadline_exceeded ? 1.0 : 0.0;
+      rec["resilience_worst"] = std::string(tridiag::solve_code_name(rep.worst));
+    } else {
+      rec["solver"] = "hybrid";
+      rec["time_us"] = report.total_us();
+      rec["k"] = static_cast<double>(report.k);
+      rec["guard_flagged"] = static_cast<double>(report.flagged);
+      rec["guard_fallback"] = static_cast<double>(report.fallback_solves);
+      rec["guard_refined"] = static_cast<double>(report.refine_steps);
+    }
     sink.write(rec);
   }
   if (const std::string metrics_path = cli.get_string("metrics-json", "");

@@ -110,7 +110,7 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
             guard[blk.base + lane] = guard_status(acc[lane]);
           }
         };
-        if (!ctx.recording() && !ctx.hazard_checking()) {
+        if (!ctx.recording() && !ctx.hazard_checking() && !ctx.fault_checking()) {
           // Non-instrumented blocks (sampled / functional_only): the same
           // arithmetic in the same order — bit-exact with the recorded
           // path below, pinned by tests/test_sim_engine.cpp — without the
@@ -175,7 +175,7 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
       [&](gpusim::BlockContext& ctx) {
         const BlockLanes<T> blk(ctx, systems, block_threads);
         std::vector<T> x_next(blk.lanes, T(0));
-        if (!ctx.recording() && !ctx.hazard_checking()) {
+        if (!ctx.recording() && !ctx.hazard_checking() && !ctx.fault_checking()) {
           // Bit-exact raw twin of the recorded path below (see forward).
           for (std::size_t r = 0; r < blk.rounds; ++r) {
             for (std::size_t lane = 0; lane < blk.lanes; ++lane) {

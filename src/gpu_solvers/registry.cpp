@@ -1,15 +1,20 @@
 #include "gpu_solvers/registry.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <numeric>
+#include <span>
 #include <stdexcept>
+#include <string>
 
 #include "gpu_solvers/cr_kernel.hpp"
 #include "gpusim/launch.hpp"
 #include "gpu_solvers/davidson.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/partition_kernel.hpp"
+#include "gpu_solvers/transition.hpp"
 #include "gpu_solvers/zhang_pcr_thomas.hpp"
 #include "obs/metrics.hpp"
 #include "tridiag/lu_pivot.hpp"
@@ -80,6 +85,13 @@ void posthoc_scan(const tridiag::SystemBatch<T>& pristine,
   }
 }
 
+/// Sum injected-fault tallies across every launch of a timeline.
+[[nodiscard]] gpusim::FaultCounts timeline_faults(const gpusim::Timeline& tl) {
+  gpusim::FaultCounts f;
+  for (const auto& seg : tl.segments()) f.merge(seg.stats.faults);
+  return f;
+}
+
 }  // namespace
 
 template <typename T>
@@ -102,6 +114,9 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
       case SolverKind::pthomas_only: {
         HybridOptions opts;
         if (kind == SolverKind::hybrid_fused) opts.fuse = true;
+        if (kind != SolverKind::pthomas_only && run_opts.force_k >= 0) {
+          opts.force_k = run_opts.force_k;
+        }
         if (kind == SolverKind::pthomas_only) opts.force_k = 0;
         // The hybrid's in-kernel guard supplies exact rows and pivot
         // growth; recovery stays here so all kinds share one LU path.
@@ -112,6 +127,8 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.launches = rep.timeline.segments().size();
         out.detail = "k=" + std::to_string(rep.k);
         out.status = rep.status;
+        out.k = static_cast<int>(rep.k);
+        out.faults = timeline_faults(rep.timeline);
         break;
       }
       case SolverKind::zhang: {
@@ -124,6 +141,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.supported = true;
         out.time_us = stats.timing.time_us;
         out.launches = 1;
+        out.faults = stats.faults;
         break;
       }
       case SolverKind::cr: {
@@ -136,6 +154,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.supported = true;
         out.time_us = stats.timing.time_us;
         out.launches = 1;
+        out.faults = stats.faults;
         break;
       }
       case SolverKind::davidson: {
@@ -144,6 +163,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
         out.detail = std::to_string(rep.global_steps) + " global steps";
+        out.faults = timeline_faults(rep.timeline);
         break;
       }
       case SolverKind::partition: {
@@ -151,9 +171,17 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.supported = true;
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
+        out.faults = timeline_faults(rep.timeline);
         break;
       }
     }
+  } catch (const gpusim::LaunchFailure& e) {
+    // Retryable: the launch never ran. The resilient pipeline re-dispatches
+    // instead of degrading straight down the fallback chain.
+    out.supported = false;
+    out.launch_failed = true;
+    out.faults.launch_failures = 1;  // the throw bypassed LaunchStats
+    out.detail = e.what();
   } catch (const std::exception& e) {
     out.supported = false;
     out.detail = e.what();
@@ -200,5 +228,280 @@ template SolveOutcome run_solver<double>(SolverKind, const gpusim::DeviceSpec&,
                                          const tridiag::SystemBatch<double>&,
                                          const SolverRunOptions&,
                                          tridiag::SystemBatch<double>*);
+
+namespace {
+
+/// One stage of the resilient fallback chain: a registry solver kind or
+/// a fault-immune host stage (cpu-thomas / lu).
+struct StageSpec {
+  std::string name;
+  bool host = false;
+  bool is_lu = false;
+  SolverKind kind = SolverKind::hybrid;
+};
+
+[[nodiscard]] const char* stage_token(SolverKind kind) noexcept {
+  switch (kind) {
+    case SolverKind::hybrid: return "hybrid";
+    case SolverKind::hybrid_fused: return "hybrid-fused";
+    case SolverKind::pthomas_only: return "pthomas";
+    case SolverKind::zhang: return "zhang";
+    case SolverKind::cr: return "cr";
+    case SolverKind::davidson: return "davidson";
+    case SolverKind::partition: return "partition";
+  }
+  return "?";
+}
+
+[[nodiscard]] StageSpec resolve_stage(const std::string& tok) {
+  for (const SolverKind k : all_solver_kinds()) {
+    if (tok == stage_token(k)) return {tok, false, false, k};
+  }
+  if (tok == "cpu-thomas") return {tok, true, false, SolverKind::hybrid};
+  if (tok == "lu") return {tok, true, true, SolverKind::hybrid};
+  throw std::invalid_argument(
+      "unknown fallback stage \"" + tok +
+      "\" (expected a solver token or cpu-thomas|lu)");
+}
+
+}  // namespace
+
+std::vector<std::string> default_fallback_chain(SolverKind entry) {
+  std::vector<std::string> chain;
+  const std::string entry_tok = stage_token(entry);
+  for (const char* s : {"pthomas", "cpu-thomas", "lu"}) {
+    if (entry_tok != s) chain.emplace_back(s);
+  }
+  return chain;
+}
+
+tridiag::ResiliencePolicy engine_resilience_policy() {
+  tridiag::ResiliencePolicy policy;
+  const gpusim::ExecutionEngine& engine = gpusim::ExecutionEngine::instance();
+  policy.max_retries = engine.default_max_retries();
+  policy.deadline_us = engine.default_deadline_us();
+  return policy;
+}
+
+template <typename T>
+ResilientOutcome run_solver_resilient(SolverKind kind,
+                                      const gpusim::DeviceSpec& dev,
+                                      const tridiag::SystemBatch<T>& batch,
+                                      const SolverRunOptions& run_opts,
+                                      const tridiag::ResiliencePolicy& policy,
+                                      tridiag::SystemBatch<T>* solution) {
+  static const auto retries_ctr =
+      obs::counter_handle("solver.resilience.retries");
+  static const auto fallback_ctr =
+      obs::counter_handle("solver.resilience.fallback_stages");
+  static const auto partial_ctr =
+      obs::counter_handle("solver.resilience.partial");
+  static const auto deadline_ctr =
+      obs::counter_handle("solver.resilience.deadline_exceeded");
+
+  ResilientOutcome ro;
+  SolveOutcome& out = ro.outcome;
+  tridiag::ResilienceReport& rep = ro.report;
+  const std::size_t num_systems = batch.num_systems();
+  const std::size_t n = batch.system_size();
+  // The assembled result: pristine inputs, d overwritten per recovered
+  // system. Unrecovered systems keep their pristine d (never garbage).
+  tridiag::SystemBatch<T> work = batch.clone();
+  out.status.resize(num_systems);
+  out.supported = true;
+
+  // Stage list: the entry solver, then the fallback chain (resolved up
+  // front so an unknown stage name fails before any work is done).
+  std::vector<StageSpec> stages;
+  stages.push_back(resolve_stage(stage_token(kind)));
+  const std::vector<std::string> chain = policy.fallback_chain.empty()
+                                             ? default_fallback_chain(kind)
+                                             : policy.fallback_chain;
+  for (const std::string& tok : chain) {
+    StageSpec st = resolve_stage(tok);
+    if (st.name != stages.back().name) stages.push_back(std::move(st));
+  }
+
+  SolverRunOptions sub_opts = run_opts;
+  sub_opts.guard = true;  // recovery is the resilient pipeline's job
+  sub_opts.fallback = false;
+  sub_opts.refine = false;
+
+  int force_k = run_opts.force_k;
+  const std::size_t chunk_cap = std::max<std::size_t>(1, policy.retry_chunk);
+  std::vector<std::size_t> pending(num_systems);
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  const auto out_of_budget = [&] {
+    return policy.deadline_us > 0.0 && rep.spent_us >= policy.deadline_us;
+  };
+
+  bool budget_hit = false;
+  for (std::size_t si = 0; si < stages.size() && !pending.empty() && !budget_hit;
+       ++si) {
+    const StageSpec& st = stages[si];
+    const bool hybrid_family =
+        !st.host &&
+        (st.kind == SolverKind::hybrid || st.kind == SolverKind::hybrid_fused);
+    // Pin the hybrid's PCR depth to what a fault-free run over the *full*
+    // batch would pick, so chunked retries and fallback re-dispatches
+    // repeat that run's exact arithmetic (heuristic_k depends on batch
+    // size, and a retry chunk is smaller than the original batch).
+    if (hybrid_family && force_k < 0) {
+      force_k = static_cast<int>(heuristic_k(num_systems, n));
+    }
+    bool entered = false;
+    // Host stages are deterministic and fault-immune: one pass is enough.
+    const int max_attempts = st.host ? 1 : policy.max_retries + 1;
+    for (int attempt = 0; attempt < max_attempts && !pending.empty();
+         ++attempt) {
+      if (out_of_budget()) {
+        budget_hit = true;
+        break;
+      }
+      if (attempt > 0) {
+        rep.spent_us += policy.backoff_us;
+        ++rep.retries;
+        retries_ctr.add();
+      }
+      entered = true;
+
+      if (st.host) {
+        tridiag::AttemptRecord ar;
+        ar.stage = st.name;
+        ar.attempt = attempt;
+        ar.systems = pending.size();
+        ar.recovered = st.is_lu ? tridiag::host_lu_stage<T>(batch, pending,
+                                                            work, out.status)
+                                : tridiag::host_thomas_stage<T>(
+                                      batch, pending, work, out.status);
+        std::vector<std::size_t> still;
+        for (const std::size_t m : pending) {
+          if (!out.status[m].ok()) still.push_back(m);
+        }
+        ar.still_flagged = still.size();
+        rep.attempts.push_back(std::move(ar));
+        pending.swap(still);
+        break;
+      }
+
+      // GPU stage: chunked re-dispatch from pristine inputs. The entry
+      // stage's first dispatch runs the whole batch in one go; retries
+      // and fallback stages go chunk by chunk so one poisoned system
+      // cannot force full-batch re-solves.
+      const std::size_t chunk =
+          (si == 0 && attempt == 0) ? pending.size() : chunk_cap;
+      std::vector<std::size_t> still;
+      bool rejected = false;
+      for (std::size_t first = 0; first < pending.size(); first += chunk) {
+        if (out_of_budget()) {
+          budget_hit = true;
+          for (std::size_t r = first; r < pending.size(); ++r) {
+            still.push_back(pending[r]);
+          }
+          break;
+        }
+        const std::size_t count = std::min(chunk, pending.size() - first);
+        const std::span<const std::size_t> systems(pending.data() + first,
+                                                   count);
+        const tridiag::SystemBatch<T> sub =
+            tridiag::extract_systems<T>(batch, systems);
+        SolverRunOptions chunk_opts = sub_opts;
+        if (hybrid_family && force_k >= 0) chunk_opts.force_k = force_k;
+        tridiag::SystemBatch<T> subsol;
+        const SolveOutcome so = run_solver<T>(st.kind, dev, sub, chunk_opts,
+                                              &subsol);
+        rep.spent_us += so.time_us;
+        out.launches += so.launches;
+        out.faults.merge(so.faults);
+
+        tridiag::AttemptRecord ar;
+        ar.stage = st.name;
+        ar.attempt = attempt;
+        ar.systems = count;
+        ar.time_us = so.time_us;
+        if (so.launch_failed) {
+          ar.reason = tridiag::SolveCode::launch_failed;
+        } else if (!so.supported) {
+          // Configuration rejected (size cap, functional_only, ...):
+          // retrying the identical dispatch cannot succeed — degrade.
+          ar.reason = tridiag::SolveCode::bad_size;
+          rejected = true;
+        } else if (so.faults.timeouts > 0) {
+          ar.reason = tridiag::SolveCode::timed_out;
+        }
+        if (ar.reason != tridiag::SolveCode::ok) {
+          // The whole dispatch is discarded; its systems stay pending.
+          const tridiag::SolveStatus fail{ar.reason, 0};
+          for (const std::size_t m : systems) {
+            out.status.record_attempt(m, fail);
+            still.push_back(m);
+          }
+          ar.still_flagged = count;
+          rep.attempts.push_back(std::move(ar));
+          continue;
+        }
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t m = systems[j];
+          const tridiag::SolveStatus verdict = so.status[j];
+          out.status.record_attempt(m, verdict);
+          if (verdict.ok()) {
+            const tridiag::StridedView<T> x = subsol.system(j).d;
+            const tridiag::StridedView<T> dst = work.system(m).d;
+            for (std::size_t i = 0; i < n; ++i) dst[i] = x[i];
+            ++ar.recovered;
+          } else {
+            still.push_back(m);
+            ++ar.still_flagged;
+          }
+        }
+        rep.attempts.push_back(std::move(ar));
+      }
+      pending.swap(still);
+      if (rejected || budget_hit) break;
+    }
+    if (entered && si > 0) {
+      ++rep.fallback_stages;
+      fallback_ctr.add();
+    }
+  }
+
+  if (!pending.empty()) {
+    if (budget_hit) {
+      rep.deadline_exceeded = true;
+      deadline_ctr.add();
+      for (const std::size_t m : pending) {
+        out.status.record_attempt(m, {tridiag::SolveCode::deadline, 0});
+      }
+    }
+    rep.partial = true;
+    partial_ctr.add();
+  }
+  out.flagged = out.status.flagged_count();
+  int worst_sev = 0;
+  for (std::size_t m = 0; m < num_systems; ++m) {
+    const tridiag::SolveCode c = out.status[m].code;
+    if (tridiag::solve_code_severity(c) > worst_sev) {
+      worst_sev = tridiag::solve_code_severity(c);
+      rep.worst = c;
+    }
+  }
+  out.time_us = rep.spent_us;
+  out.k = force_k;
+  out.detail = std::to_string(rep.attempts.size()) + " attempts, " +
+               std::to_string(rep.fallback_stages) + " fallback stages, " +
+               std::to_string(rep.retries) + " retries";
+  if (solution != nullptr) *solution = std::move(work);
+  return ro;
+}
+
+template ResilientOutcome run_solver_resilient<float>(
+    SolverKind, const gpusim::DeviceSpec&, const tridiag::SystemBatch<float>&,
+    const SolverRunOptions&, const tridiag::ResiliencePolicy&,
+    tridiag::SystemBatch<float>*);
+template ResilientOutcome run_solver_resilient<double>(
+    SolverKind, const gpusim::DeviceSpec&, const tridiag::SystemBatch<double>&,
+    const SolverRunOptions&, const tridiag::ResiliencePolicy&,
+    tridiag::SystemBatch<double>*);
 
 }  // namespace tridsolve::gpu

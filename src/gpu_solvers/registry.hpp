@@ -12,6 +12,7 @@
 #include "gpusim/exec_engine.hpp"
 #include "tridiag/batch_status.hpp"
 #include "tridiag/layout.hpp"
+#include "tridiag/resilient_solve.hpp"
 
 namespace tridsolve::gpu {
 
@@ -43,6 +44,20 @@ struct SolveOutcome {
   std::size_t flagged = 0;          ///< systems with a non-ok status
   std::size_t fallback_solves = 0;  ///< flagged systems LU re-solved
   std::size_t refine_steps = 0;     ///< refinement iterations performed
+
+  /// Injected-fault tallies summed over every launch of the run (all
+  /// zero without an active FaultPlan). `faults.timeouts > 0` means the
+  /// run overran its per-block budget — time_us includes the stall and
+  /// the resilient pipeline treats the results as suspect.
+  gpusim::FaultCounts faults;
+  /// True when supported == false because a kernel launch itself failed
+  /// (injected LaunchFailure) — a *retryable* condition, unlike a
+  /// configuration rejection.
+  bool launch_failed = false;
+  /// PCR step count the hybrid family actually used (-1 for other
+  /// kinds). Retries pin this via SolverRunOptions::force_k so chunked
+  /// re-dispatches repeat the exact arithmetic of the first attempt.
+  int k = -1;
 };
 
 /// Per-run knobs threaded through the registry into the launch engine.
@@ -67,6 +82,11 @@ struct SolverRunOptions {
   /// Residual-gated iterative refinement after the LU fallback (implies
   /// fallback).
   bool refine = false;
+  /// Force the hybrid family's PCR step count (ignored by other kinds
+  /// and by pthomas_only, which is k = 0 by definition). The resilient
+  /// pipeline uses this to make sub-batch retries bit-identical to the
+  /// full-batch first attempt, whose heuristic k depends on batch size.
+  int force_k = -1;
 };
 
 /// Run `kind` over a fresh copy of `batch` (the input is not modified).
@@ -90,5 +110,45 @@ extern template SolveOutcome run_solver<double>(SolverKind,
                                                 const tridiag::SystemBatch<double>&,
                                                 const SolverRunOptions&,
                                                 tridiag::SystemBatch<double>*);
+
+/// Result of a resilient solve: the final (possibly partial) outcome —
+/// supported is always true, per-system verdicts live in outcome.status
+/// — plus the full attempt-by-attempt report.
+struct ResilientOutcome {
+  SolveOutcome outcome;
+  tridiag::ResilienceReport report;
+};
+
+/// The default degradation order for `entry`: the entry solver itself,
+/// then pthomas → cpu-thomas → lu (duplicates of the entry elided).
+[[nodiscard]] std::vector<std::string> default_fallback_chain(SolverKind entry);
+
+/// A ResiliencePolicy seeded from the engine's --deadline-us /
+/// --max-retries CLI defaults (everything else at its default).
+[[nodiscard]] tridiag::ResiliencePolicy engine_resilience_policy();
+
+/// Run `kind` over `batch` under a resilience policy: guarded solve,
+/// chunked sub-batch retries from pristine inputs, degradation down the
+/// fallback chain, and a deadline budget — returning a partial result
+/// with a severity-ordered taxonomy (never throwing, never silent
+/// garbage). Recovered systems are bit-identical to a fault-free run of
+/// the stage that recovered them. `opts.guard` is implied; `solution`
+/// receives the assembled batch (solution in d for every recovered
+/// system, pristine d for unrecovered ones).
+template <typename T>
+ResilientOutcome run_solver_resilient(
+    SolverKind kind, const gpusim::DeviceSpec& dev,
+    const tridiag::SystemBatch<T>& batch, const SolverRunOptions& opts = {},
+    const tridiag::ResiliencePolicy& policy = {},
+    tridiag::SystemBatch<T>* solution = nullptr);
+
+extern template ResilientOutcome run_solver_resilient<float>(
+    SolverKind, const gpusim::DeviceSpec&, const tridiag::SystemBatch<float>&,
+    const SolverRunOptions&, const tridiag::ResiliencePolicy&,
+    tridiag::SystemBatch<float>*);
+extern template ResilientOutcome run_solver_resilient<double>(
+    SolverKind, const gpusim::DeviceSpec&, const tridiag::SystemBatch<double>&,
+    const SolverRunOptions&, const tridiag::ResiliencePolicy&,
+    tridiag::SystemBatch<double>*);
 
 }  // namespace tridsolve::gpu

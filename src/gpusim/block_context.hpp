@@ -29,7 +29,9 @@
 //  * Bit-exactness: phase() and phase_rounds() record identical costs for
 //    the same accesses, and neither cost recording, hazard tracking
 //    (`hazards != nullptr`) nor record=false changes any functional
-//    result — only what is observed about it.
+//    result — only what is observed about it. Fault injection
+//    (`faults != nullptr`) is the sole deliberate exception: it corrupts
+//    functional values, but never recorded costs.
 //  * Units: load/store sizes are bytes; flops are op-equivalents at the
 //    value type's precision; rounds are serialized-memory-round counts.
 
@@ -43,6 +45,7 @@
 #include "gpusim/coalescer.hpp"
 #include "gpusim/costs.hpp"
 #include "gpusim/device_spec.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/hazard_tracker.hpp"
 #include "gpusim/shared_memory.hpp"
 
@@ -162,7 +165,7 @@ class BlockContext {
   BlockContext(const DeviceSpec& dev, std::size_t block_id,
                std::size_t grid_blocks, int block_threads,
                WorkerScratch& scratch, KernelCosts& costs, bool record = true,
-               HazardTracker* hazards = nullptr)
+               HazardTracker* hazards = nullptr, FaultSession* faults = nullptr)
       : dev_(dev),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
@@ -170,7 +173,8 @@ class BlockContext {
         scratch_(scratch),
         costs_(costs),
         record_(record),
-        hazards_(hazards) {
+        hazards_(hazards),
+        faults_(faults) {
     assert(block_threads_ > 0);
     scratch_.prepare(dev_);
     scratch_.arena->reset();
@@ -199,6 +203,13 @@ class BlockContext {
   [[nodiscard]] bool hazard_checking() const noexcept {
     return hazards_ != nullptr;
   }
+  /// True when a fault injector is attached to this block. Kernels with a
+  /// non-instrumented raw twin must take the instrumented path while
+  /// fault checking so every global access is a candidate site (and the
+  /// site ordinals match the instrumented modes).
+  [[nodiscard]] bool fault_checking() const noexcept {
+    return faults_ != nullptr;
+  }
 
   /// Allocate shared memory for this block (throws if over capacity).
   template <typename T>
@@ -223,6 +234,7 @@ class BlockContext {
       ++costs_.barriers;
     }
     if (hazards_ != nullptr) hazards_->end_phase();
+    if (faults_ != nullptr) faults_->end_phase(*scratch_.arena);
   }
 
   /// Run one barrier-delimited phase in *lockstep* (round-major) order:
@@ -254,6 +266,7 @@ class BlockContext {
       ++costs_.barriers;
     }
     if (hazards_ != nullptr) hazards_->end_phase();
+    if (faults_ != nullptr) faults_->end_phase(*scratch_.arena);
   }
 
   KernelCosts& costs() noexcept { return costs_; }
@@ -283,6 +296,13 @@ class BlockContext {
     if (hazards_ != nullptr) hazards_->sync(tid);
   }
 
+  /// Give the fault injector (when attached) a shot at a global access
+  /// value. No-op — and no site-ordinal consumption — when inactive.
+  template <typename T>
+  [[nodiscard]] T fault_data(T v, bool is_store) noexcept {
+    return faults_ != nullptr ? faults_->filter_data(v, is_store) : v;
+  }
+
   const DeviceSpec& dev_;
   std::size_t block_id_;
   std::size_t grid_blocks_;
@@ -291,6 +311,7 @@ class BlockContext {
   KernelCosts& costs_;
   bool record_;
   HazardTracker* hazards_ = nullptr;
+  FaultSession* faults_ = nullptr;
   std::size_t num_warps_ = 0;
   std::size_t current_warp_ = 0;
 };
@@ -300,7 +321,7 @@ T ThreadCtx::load(const T* p) {
   block_->record_access(p, sizeof(T), /*is_write=*/false, round_);
   block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/false,
                         /*expect_shared=*/false);
-  return *p;
+  return block_->fault_data(*p, /*is_store=*/false);
 }
 
 template <typename T>
@@ -308,7 +329,7 @@ void ThreadCtx::store(T* p, T v) {
   block_->record_access(p, sizeof(T), /*is_write=*/true, round_);
   block_->hazard_access(p, sizeof(T), tid_, /*is_write=*/true,
                         /*expect_shared=*/false);
-  *p = v;
+  *p = block_->fault_data(v, /*is_store=*/true);
 }
 
 template <typename T>

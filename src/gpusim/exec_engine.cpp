@@ -8,6 +8,7 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -167,6 +168,10 @@ struct ExecutionEngine::Impl {
   InstrumentMode default_mode = InstrumentMode::exact;
   HazardMode default_hazards = HazardMode::off;
   std::size_t sample_target = 16;
+  FaultPlan fault_plan;
+  std::uint64_t fault_launch_counter = 0;  ///< launches since plan install
+  double default_deadline_us = 0.0;        ///< 0 = unlimited
+  int default_max_retries = 2;
 
   // --- one launch at a time (nested launches are not a thing: kernels
   // cannot launch kernels in this model) ---
@@ -189,6 +194,13 @@ struct ExecutionEngine::Impl {
   // lazily on the first hazard-checked launch, inert otherwise.
   std::vector<std::unique_ptr<HazardTracker>> trackers;
   bool hazards_active = false;  ///< this launch runs with detection on
+
+  // Per-participant fault tallies plus the plan snapshot of the running
+  // launch (written under launch_mu before the generation bump).
+  std::vector<FaultCounts> fault_counts;
+  bool faults_active = false;  ///< this launch runs with a live FaultPlan
+  FaultPlan job_fault_plan;
+  std::uint64_t job_fault_launch = 0;
 
   // --- current job (written before the generation bump, read-only while
   // workers run; slots shards are disjoint per block) ---
@@ -252,8 +264,14 @@ struct ExecutionEngine::Impl {
         for (std::size_t b = begin; b < end; ++b) {
           const std::size_t slot = pl.slot_of(b);
           const bool record = slot != SamplePlan::npos;
+          std::optional<FaultSession> fs;
+          if (faults_active) {
+            fs.emplace(job_fault_plan, job_fault_launch, b,
+                       fault_counts[scratch_idx]);
+          }
           BlockContext ctx(*req.dev, b, req.grid_blocks, req.block_threads,
-                           ws, record ? slots[slot] : ws.discard, record, hz);
+                           ws, record ? slots[slot] : ws.discard, record, hz,
+                           fs ? &*fs : nullptr);
           req.body(req.user, ctx);
           if (record) slots[slot].shared_peak_bytes = ws.arena->block_peak();
         }
@@ -320,6 +338,37 @@ std::size_t ExecutionEngine::sample_target() const noexcept {
   return impl_->sample_target;
 }
 
+FaultPlan ExecutionEngine::fault_plan() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->fault_plan;
+}
+
+void ExecutionEngine::set_fault_plan(const FaultPlan& plan) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->fault_plan = plan;
+  impl_->fault_launch_counter = 0;
+}
+
+double ExecutionEngine::default_deadline_us() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->default_deadline_us;
+}
+
+void ExecutionEngine::set_default_deadline_us(double us) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->default_deadline_us = us >= 0.0 ? us : 0.0;
+}
+
+int ExecutionEngine::default_max_retries() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->default_max_retries;
+}
+
+void ExecutionEngine::set_default_max_retries(int n) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->default_max_retries = n >= 0 ? n : 0;
+}
+
 void configure_engine_from_cli(const util::Cli& cli) {
   ExecutionEngine& engine = ExecutionEngine::instance();
   if (cli.get("sim-threads")) {
@@ -334,6 +383,31 @@ void configure_engine_from_cli(const util::Cli& cli) {
   }
   if (const auto mode = cli.get("check-hazards")) {
     engine.set_default_hazards(parse_hazard_mode(*mode));
+  }
+  if (cli.get("fault-rate") || cli.get("fault-seed") || cli.get("fault-kinds")) {
+    FaultPlan plan = engine.fault_plan();
+    plan.seed = static_cast<std::uint64_t>(
+        cli.get_int("fault-seed", static_cast<std::int64_t>(plan.seed)));
+    plan.rate = cli.get_double("fault-rate", plan.rate);
+    if (!(plan.rate >= 0.0) || plan.rate > 1.0) {
+      throw std::invalid_argument("--fault-rate must be in [0, 1]");
+    }
+    if (const auto kinds = cli.get("fault-kinds")) {
+      plan.kinds = parse_fault_kinds(*kinds);
+    }
+    engine.set_fault_plan(plan);
+  }
+  if (cli.get("deadline-us")) {
+    const double us = cli.get_double("deadline-us", 0.0);
+    if (!(us >= 0.0)) {
+      throw std::invalid_argument("--deadline-us must be >= 0 (0 = unlimited)");
+    }
+    engine.set_default_deadline_us(us);
+  }
+  if (cli.get("max-retries")) {
+    const auto n = cli.get_int("max-retries", 0);
+    if (n < 0) throw std::invalid_argument("--max-retries must be >= 0");
+    engine.set_default_max_retries(static_cast<int>(n));
   }
 }
 
@@ -361,6 +435,28 @@ LaunchOutcome execute_grid(const LaunchRequest& req) {
       im.trackers[i]->begin_launch();
     }
   }
+  // Snapshot the fault plan and claim this launch's deterministic ordinal
+  // (launches are serialized by launch_mu, so the ordinal sequence is
+  // independent of worker count). An injected launch failure aborts here,
+  // before any block runs — the next launch draws a fresh ordinal.
+  {
+    const std::lock_guard<std::mutex> cfg_lk(im.cfg_mu);
+    im.job_fault_plan = im.fault_plan;
+    im.faults_active = im.job_fault_plan.active();
+    im.job_fault_launch = im.faults_active ? im.fault_launch_counter++ : 0;
+  }
+  if (im.faults_active) {
+    if (im.job_fault_plan.launch_should_fail(im.job_fault_launch)) {
+      FaultCounts failed;
+      failed.launch_failures = 1;
+      note_faults(failed);
+      im.faults_active = false;
+      throw LaunchFailure("gpusim: injected launch failure (launch " +
+                          std::to_string(im.job_fault_launch) + ", seed " +
+                          std::to_string(im.job_fault_plan.seed) + ")");
+    }
+    im.fault_counts.assign(im.participants, FaultCounts{});
+  }
   im.chunk = std::max<std::size_t>(
       1, req.grid_blocks / (std::max<std::size_t>(im.participants, 1) * 8));
   im.next_block.store(0, std::memory_order_relaxed);
@@ -386,6 +482,17 @@ LaunchOutcome execute_grid(const LaunchRequest& req) {
   if (im.first_error) std::rethrow_exception(im.first_error);
 
   LaunchOutcome out;
+  if (im.faults_active) {
+    // Deterministic merge: per-worker tallies are sums of per-block hits.
+    for (std::size_t i = 0; i < im.participants; ++i) {
+      out.faults.merge(im.fault_counts[i]);
+    }
+    if (out.faults.timeouts > 0) {
+      out.fault_overrun_us = im.job_fault_plan.timeout_overrun_us *
+                             static_cast<double>(out.faults.timeouts);
+    }
+    note_faults(out.faults);
+  }
   if (im.hazards_active) {
     // Deterministic merge: counts are sums (order-independent), the
     // example is the finding from the lowest block id across workers.
@@ -457,6 +564,19 @@ void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
     bytes.add(static_cast<double>(costs.bytes_requested));
     barriers.add(static_cast<double>(costs.barriers));
   }
+}
+
+void note_faults(const FaultCounts& faults) noexcept {
+  static auto bit_flips = obs::counter_handle("gpusim.fault.bit_flips");
+  static auto shared = obs::counter_handle("gpusim.fault.shared_corruptions");
+  static auto nans = obs::counter_handle("gpusim.fault.nan_writes");
+  static auto launches = obs::counter_handle("gpusim.fault.launch_failures");
+  static auto timeouts = obs::counter_handle("gpusim.fault.timeouts");
+  bit_flips.add(static_cast<double>(faults.bit_flips));
+  shared.add(static_cast<double>(faults.shared_corruptions));
+  nans.add(static_cast<double>(faults.nan_writes));
+  launches.add(static_cast<double>(faults.launch_failures));
+  timeouts.add(static_cast<double>(faults.timeouts));
 }
 
 void note_hazards(const HazardCounts& hazards) noexcept {

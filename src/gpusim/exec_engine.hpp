@@ -33,6 +33,15 @@
 // throws). Detection is read-only — it never alters outputs, recorded
 // costs, or simulated time — and per-worker trackers are merged
 // deterministically after the grid drains.
+//
+// A FaultPlan (fault_injector.hpp) installed on the engine makes every
+// launch draw deterministic, seed-keyed faults: value corruption on
+// global accesses, shared-arena upsets at phase boundaries, injected
+// LaunchFailure throws, and per-block timeout overruns that inflate the
+// launch's simulated time. Counts merge as sums (worker-count
+// independent) into gpusim.fault.* metrics and LaunchStats.faults. The
+// engine also carries the resilient-solve defaults (--deadline-us /
+// --max-retries) so benches configure the whole pipeline from one CLI.
 
 #include <cstddef>
 #include <string>
@@ -94,6 +103,9 @@ struct LaunchOutcome {
   std::size_t instrumented_blocks = 0;  ///< blocks that actually recorded
   HazardCounts hazards;                 ///< merged findings (detect/fatal)
   HazardExample hazard_example;         ///< lowest-block-id finding, if any
+  FaultCounts faults;                   ///< injected faults (all zero when
+                                        ///< no FaultPlan is active)
+  double fault_overrun_us = 0.0;        ///< timeout stall to add to timing
 };
 
 /// Execute every block of the grid (parallel, pooled scratch) and reduce
@@ -109,6 +121,11 @@ void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
 /// Hazard-metric bookkeeping: bumps gpusim.hazard.{raw,war,waw,oob,
 /// divergence,tracked} for one launch that ran with detection enabled.
 void note_hazards(const HazardCounts& hazards) noexcept;
+
+/// Fault-metric bookkeeping: bumps gpusim.fault.{bit_flips,
+/// shared_corruptions,nan_writes,launch_failures,timeouts} for one
+/// launch that ran with a FaultPlan active.
+void note_faults(const FaultCounts& faults) noexcept;
 
 }  // namespace detail
 
@@ -131,6 +148,20 @@ class ExecutionEngine {
   /// Approximate number of blocks the sampled mode instruments per launch
   /// (first/last/stride plan; small grids degenerate to exact coverage).
   [[nodiscard]] std::size_t sample_target() const noexcept;
+
+  /// Fault-injection plan applied to every launch (snapshot). A default
+  /// (inactive) plan means zero-overhead execution.
+  [[nodiscard]] FaultPlan fault_plan() const noexcept;
+  /// Install a plan and reset the deterministic launch ordinal to 0, so a
+  /// plan's fault sites are reproducible from the moment it is set.
+  void set_fault_plan(const FaultPlan& plan) noexcept;
+
+  /// Resilient-solve defaults fed from --deadline-us / --max-retries;
+  /// consumed by gpu::engine_resilience_policy(). 0 deadline = unlimited.
+  [[nodiscard]] double default_deadline_us() const noexcept;
+  void set_default_deadline_us(double us) noexcept;
+  [[nodiscard]] int default_max_retries() const noexcept;
+  void set_default_max_retries(int n) noexcept;
 
   ~ExecutionEngine();
 
@@ -193,9 +224,27 @@ class ScopedHazardMode {
   HazardMode prev_;
 };
 
-/// Apply --sim-threads / --instrument / --check-hazards flags (when
-/// present) to the engine. Benches call this once after parsing; flags
-/// come from util::with_obs_flags.
+/// RAII override of the engine's fault-injection plan. Installing (and
+/// restoring) a plan resets the launch ordinal, so the scope sees a
+/// reproducible fault sequence starting at launch 0.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan)
+      : prev_(ExecutionEngine::instance().fault_plan()) {
+    ExecutionEngine::instance().set_fault_plan(plan);
+  }
+  ~ScopedFaultPlan() { ExecutionEngine::instance().set_fault_plan(prev_); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  FaultPlan prev_;
+};
+
+/// Apply --sim-threads / --instrument / --check-hazards plus the fault
+/// and resilience flags (--fault-seed / --fault-rate / --fault-kinds /
+/// --deadline-us / --max-retries) to the engine when present. Benches
+/// call this once after parsing; flags come from util::with_obs_flags.
 void configure_engine_from_cli(const util::Cli& cli);
 
 }  // namespace tridsolve::gpusim

@@ -49,6 +49,10 @@ struct LaunchStats {
   HazardCounts hazards{};
   /// First finding by block id; invalid when the launch was clean.
   HazardExample hazard_example{};
+  /// Injected-fault tallies (all zero when no FaultPlan was active). A
+  /// nonzero `faults.timeouts` means timing.time_us already includes the
+  /// per-block overrun stalls — and that the results are suspect.
+  FaultCounts faults{};
 };
 
 /// Execute `body(BlockContext&)` for every block of the grid.
@@ -85,6 +89,7 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   stats.instrumented_blocks = outcome.instrumented_blocks;
   stats.hazards = outcome.hazards;
   stats.hazard_example = outcome.hazard_example;
+  stats.faults = outcome.faults;
   stats.timed = mode != InstrumentMode::functional_only;
   if (stats.timed) {
     const int warps_per_block =
@@ -97,6 +102,9 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
       throw std::invalid_argument("launch: kernel not launchable (" +
                                   stats.timing.occupancy.limiter + " limit)");
     }
+    // Injected per-block timeouts stall the launch past its modelled
+    // time; the overrun is pure wall-clock, not extra work.
+    stats.timing.time_us += outcome.fault_overrun_us;
   }
   detail::note_launch(cfg.grid_blocks, stats.timed, stats.timing.time_us,
                       stats.timing.overhead_us, stats.costs);

@@ -68,6 +68,11 @@ class SharedArena {
     return storage_.data();
   }
 
+  /// Mutable base address — for the fault injector only, which corrupts
+  /// live arena words at phase boundaries. Kernels must keep going
+  /// through allocate()'d spans.
+  [[nodiscard]] std::byte* mutable_data() noexcept { return storage_.data(); }
+
  private:
   std::vector<std::byte> storage_;
   std::size_t capacity_;

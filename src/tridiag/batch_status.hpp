@@ -21,6 +21,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -28,14 +29,22 @@
 
 namespace tridsolve::tridiag {
 
-/// Severity order for merging statuses from multiple pipeline stages.
+/// Severity order for merging statuses from multiple pipeline stages —
+/// and the resilient pipeline's error taxonomy. Transient execution
+/// failures (timed_out, launch_failed) rank between the numerical codes a
+/// retry can plausibly clear and the terminal ones (singular: the matrix
+/// itself is bad; deadline: the budget is gone; bad_size: the request
+/// was malformed).
 [[nodiscard]] constexpr int solve_code_severity(SolveCode c) noexcept {
   switch (c) {
     case SolveCode::ok: return 0;
     case SolveCode::near_singular: return 1;
     case SolveCode::zero_pivot: return 2;
-    case SolveCode::singular: return 3;
-    case SolveCode::bad_size: return 4;
+    case SolveCode::timed_out: return 3;
+    case SolveCode::launch_failed: return 4;
+    case SolveCode::singular: return 5;
+    case SolveCode::deadline: return 6;
+    case SolveCode::bad_size: return 7;
   }
   return 0;
 }
@@ -57,7 +66,11 @@ class BatchStatus {
 
   [[nodiscard]] std::size_t size() const noexcept { return sys_.size(); }
   [[nodiscard]] bool empty() const noexcept { return sys_.empty(); }
-  void resize(std::size_t num_systems) { sys_.assign(num_systems, {}); }
+  void resize(std::size_t num_systems) {
+    sys_.assign(num_systems, {});
+    attempts_.clear();
+    detected_.clear();
+  }
 
   [[nodiscard]] SolveStatus& operator[](std::size_t m) noexcept { return sys_[m]; }
   [[nodiscard]] const SolveStatus& operator[](std::size_t m) const noexcept {
@@ -76,6 +89,53 @@ class BatchStatus {
       cur.index = s.index;
     }
     if (s.pivot_growth > cur.pivot_growth) cur.pivot_growth = s.pivot_growth;
+  }
+
+  /// Record one *attempt* at system m (the resilient pipeline's merge,
+  /// distinct from absorb()): the live status becomes the latest
+  /// attempt's verdict — a clean retry clears an earlier flag — while a
+  /// sticky per-system detection record keeps the worst code ever seen
+  /// (absorb semantics) and the attempt counter the full tally. The
+  /// caller applies chunks in ascending system order, so merges from any
+  /// chunking are deterministic and severity-ordered absorb no longer
+  /// erases per-attempt provenance.
+  void record_attempt(std::size_t m, const SolveStatus& s) {
+    if (attempts_.size() != sys_.size()) {
+      attempts_.assign(sys_.size(), 0);
+      detected_ = sys_;  // seed the sticky record with pre-attempt state
+    }
+    ++attempts_[m];
+    SolveStatus& det = detected_[m];
+    if (solve_code_severity(s.code) > solve_code_severity(det.code)) {
+      det.code = s.code;
+      det.index = s.index;
+    }
+    if (s.pivot_growth > det.pivot_growth) det.pivot_growth = s.pivot_growth;
+    sys_[m] = s;
+  }
+
+  /// True once record_attempt has been called since the last resize.
+  [[nodiscard]] bool has_provenance() const noexcept {
+    return !attempts_.empty();
+  }
+
+  /// Attempts recorded against system m (0 without provenance).
+  [[nodiscard]] std::uint32_t attempts(std::size_t m) const noexcept {
+    return m < attempts_.size() ? attempts_[m] : 0;
+  }
+
+  /// Total attempts across the batch.
+  [[nodiscard]] std::uint64_t total_attempts() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto a : attempts_) n += a;
+    return n;
+  }
+
+  /// Sticky detection record for system m: the worst code any attempt
+  /// reported (the live operator[] is the *latest* attempt's verdict).
+  /// Falls back to the live status when no attempts were recorded.
+  [[nodiscard]] const SolveStatus& detected(std::size_t m) const noexcept {
+    return m < detected_.size() ? detected_[m] : sys_[m];
   }
 
   /// Upgrade ok systems whose recorded growth exceeds `limit` to
@@ -113,6 +173,9 @@ class BatchStatus {
 
  private:
   std::vector<SolveStatus> sys_;
+  // Attempt provenance (resilient pipeline); empty until record_attempt.
+  std::vector<std::uint32_t> attempts_;
+  std::vector<SolveStatus> detected_;
 };
 
 }  // namespace tridsolve::tridiag

@@ -56,6 +56,12 @@ double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x) 
   // residual.hpp. Returning the absolute residual here (as this function
   // once did) reported that degenerate case as a perfect 0.0.
   if (!(denom > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  // An *overflowed* denominator is just as undefined: with finite inputs
+  // it means ||x|| (or ||d||) is within a factor ||A|| of DBL_MAX, where
+  // `finite / inf == 0.0` would report a wildly wrong solution as a
+  // perfect one (e.g. a corrupted x[i] near 1e308 — caught by the chaos
+  // suite). No trustworthy scale exists there either.
+  if (!std::isfinite(denom)) return std::numeric_limits<double>::quiet_NaN();
   return residual_inf(sys, x) / denom;
 }
 

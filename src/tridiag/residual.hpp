@@ -32,7 +32,10 @@ double residual_inf(const SystemRef<const T>& sys, StridedView<const T> x);
 ///  * A zero denominator (||A||·||x|| and ||d|| both zero, e.g. an
 ///    all-zero system — no scale to measure against) returns NaN: the
 ///    relative residual is undefined there, and callers gating on
-///    `res <= tol` correctly treat NaN as "not ok".
+///    `res <= tol` correctly treat NaN as "not ok". An *overflowed*
+///    denominator (||x|| within a factor ||A|| of DBL_MAX) returns NaN
+///    for the same reason — `finite / inf` would otherwise report an
+///    absurdly large solution as a perfect 0.0.
 ///  * An empty system (n == 0) returns 0.0 (nothing to be wrong about).
 template <typename T>
 double relative_residual(const SystemRef<const T>& sys, StridedView<const T> x);

@@ -22,6 +22,10 @@ namespace tridsolve::tridiag {
 
 /// Outcome of a solve. Solvers never throw from hot loops; a zero (or,
 /// for the pivoting LU, exactly-singular) pivot is reported here instead.
+/// The last three codes are execution-level outcomes recorded by the
+/// resilient pipeline (resilient_solve.hpp): they describe what happened
+/// to an attempt, not a property of the matrix, and are transient — a
+/// retry or fallback stage can clear them.
 enum class SolveCode {
   ok,
   near_singular,  ///< solve completed but pivot growth exceeded the guard
@@ -30,6 +34,9 @@ enum class SolveCode {
                   ///< not solvable by this pivot-free algorithm; see
                   ///< lu_gtsv for the referee)
   singular,       ///< pivoting LU found the matrix exactly singular
+  timed_out,      ///< the dispatch overran its time budget; results suspect
+  launch_failed,  ///< the kernel launch itself failed before running
+  deadline,       ///< the resilience deadline expired before a clean solve
   bad_size,       ///< size mismatch between matrix, rhs, or workspace
 };
 
@@ -39,6 +46,9 @@ enum class SolveCode {
     case SolveCode::near_singular: return "near_singular";
     case SolveCode::zero_pivot: return "zero_pivot";
     case SolveCode::singular: return "singular";
+    case SolveCode::timed_out: return "timed_out";
+    case SolveCode::launch_failed: return "launch_failed";
+    case SolveCode::deadline: return "deadline";
     case SolveCode::bad_size: return "bad_size";
   }
   return "?";

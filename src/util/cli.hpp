@@ -51,6 +51,11 @@ class Cli {
 ///   --instrument MODE     exact | sampled | functional_only
 ///   --repeat N            repetitions per configuration (with warmup)
 ///   --check-hazards [MODE] shared-memory hazard detection: detect | fatal
+///   --fault-seed N        fault-injection seed (deterministic site choice)
+///   --fault-rate R        per-site injection probability in [0,1]
+///   --fault-kinds LIST    comma list: flip,shared,nan,launch,timeout | all
+///   --deadline-us US      resilient-solve simulated-time budget (0 = off)
+///   --max-retries N       resilient-solve re-dispatches per stage
 /// Returns `flags` with those names appended, for the Cli constructor.
 [[nodiscard]] std::vector<std::string> with_obs_flags(
     std::vector<std::string> flags);

@@ -12,7 +12,13 @@
 // are numbers >= 0; the hazard block (present when the producing bench
 // ran with --check-hazards) is all-or-nothing: `hazard_mode` must be
 // "detect" or "fatal" and every `hazard_{raw,war,waw,oob,divergence}`
-// counter must be a number >= 0.
+// counter must be a number >= 0. The fault block (present when the
+// producer ran with --fault-rate/--fault-seed/--fault-kinds) is likewise
+// all-or-nothing: `fault_seed` >= 0, `fault_rate` in [0,1] and all five
+// `fault_*` counters >= 0. The resilience block (written by the
+// resilient solve pipeline) is all-or-nothing too: the `resilience_*`
+// numbers >= 0, the two booleans 0/1, and `resilience_worst` a SolveCode
+// name.
 //
 // Chrome-trace checks: top-level object with a `traceEvents` array; every
 // event has a string `name` and `ph`; "X" (duration) events carry
@@ -26,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
 #include <string>
@@ -132,6 +139,77 @@ std::size_t validate_jsonl(const std::string& path) {
         if (require_number(rec, key, where) < 0) {
           fail(where + ": \"" + std::string(key) + "\" < 0");
         }
+      }
+    }
+
+    // Fault block: written together (bench::Telemetry or quickstart) when
+    // a FaultPlan is armed — all-or-nothing like the hazard block.
+    static constexpr const char* fault_keys[] = {
+        "fault_bit_flips", "fault_shared_corruptions", "fault_nan_writes",
+        "fault_launch_failures", "fault_timeouts"};
+    bool has_fault_any = rec.find("fault_seed") || rec.find("fault_rate");
+    bool has_fault_all =
+        rec.find("fault_seed") != nullptr && rec.find("fault_rate") != nullptr;
+    for (const char* key : fault_keys) {
+      if (rec.find(key)) has_fault_any = true;
+      else has_fault_all = false;
+    }
+    if (has_fault_any) {
+      if (!has_fault_all) {
+        fail(where + ": partial fault block (need fault_seed, fault_rate and"
+             " all five fault_{bit_flips,shared_corruptions,nan_writes,"
+             "launch_failures,timeouts} counters)");
+      }
+      if (require_number(rec, "fault_seed", where) < 0) {
+        fail(where + ": fault_seed < 0");
+      }
+      const double rate = require_number(rec, "fault_rate", where);
+      if (rate < 0 || rate > 1) fail(where + ": fault_rate outside [0,1]");
+      for (const char* key : fault_keys) {
+        if (require_number(rec, key, where) < 0) {
+          fail(where + ": \"" + std::string(key) + "\" < 0");
+        }
+      }
+    }
+
+    // Resilience block: written by the resilient solve pipeline —
+    // all-or-nothing, with a severity code name in resilience_worst.
+    static constexpr const char* resilience_counts[] = {
+        "resilience_retries", "resilience_fallbacks", "resilience_spent_us",
+        "resilience_partial", "resilience_deadline_exceeded"};
+    bool has_res_any = rec.find("resilience_worst") != nullptr;
+    bool has_res_all = has_res_any;
+    for (const char* key : resilience_counts) {
+      if (rec.find(key)) has_res_any = true;
+      else has_res_all = false;
+    }
+    if (has_res_any) {
+      if (!has_res_all) {
+        fail(where + ": partial resilience block (need resilience_worst plus"
+             " resilience_{retries,fallbacks,spent_us,partial,"
+             "deadline_exceeded})");
+      }
+      for (const char* key : resilience_counts) {
+        if (require_number(rec, key, where) < 0) {
+          fail(where + ": \"" + std::string(key) + "\" < 0");
+        }
+      }
+      for (const char* key :
+           {"resilience_partial", "resilience_deadline_exceeded"}) {
+        const double v = require_number(rec, key, where);
+        if (v != 0.0 && v != 1.0) {
+          fail(where + ": \"" + std::string(key) + "\" is not 0 or 1");
+        }
+      }
+      static constexpr const char* codes[] = {
+          "ok", "near_singular", "zero_pivot", "timed_out", "launch_failed",
+          "singular", "deadline", "bad_size"};
+      const std::string worst = require_string(rec, "resilience_worst", where);
+      if (std::find_if(std::begin(codes), std::end(codes),
+                       [&worst](const char* c) { return worst == c; }) ==
+          std::end(codes)) {
+        fail(where + ": resilience_worst \"" + worst +
+             "\" is not a SolveCode name");
       }
     }
 
