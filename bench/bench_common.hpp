@@ -19,6 +19,8 @@
 #include "gpusim/trace.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/span_tracer.hpp"
 #include "obs/telemetry.hpp"
 #include "tridiag/layout.hpp"
 #include "util/cli.hpp"
@@ -157,13 +159,36 @@ class Telemetry {
     if (const auto path = cli.get("json")) sink_ = obs::JsonlSink(*path);
     trace_path_ = cli.get_string("trace-json", "");
     metrics_path_ = cli.get_string("metrics-json", "");
+    prom_path_ = cli.get_string("metrics-prom", "");
+    spans_path_ = cli.get_string("spans-json", "");
+    if (!spans_path_.empty()) {
+      // Opt-in: tracing stays off (and free) unless --spans-json asks
+      // for it. Reset discards spans a previous Telemetry in the same
+      // process may have left behind (tests construct several).
+      obs::SpanTracer::instance().reset();
+      obs::SpanTracer::instance().set_enabled(true);
+    }
   }
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
 
   ~Telemetry() {
+    if (!spans_path_.empty()) {
+      obs::SpanTracer& tracer = obs::SpanTracer::instance();
+      tracer.set_enabled(false);
+      if (!tracer.write_jsonl(spans_path_)) {
+        std::fprintf(stderr, "telemetry: cannot write %s\n",
+                     spans_path_.c_str());
+      }
+      // The span tree also lands in the Chrome trace (pid 1) so the
+      // causal view and the per-launch tracks open side by side.
+      if (!trace_path_.empty()) trace_.add_spans(tracer.spans());
+    }
     if (!trace_path_.empty()) trace_.write_file(trace_path_);
+    if (!prom_path_.empty()) {
+      obs::write_prometheus(obs::MetricsRegistry::instance(), prom_path_);
+    }
     if (!metrics_path_.empty()) {
       if (std::FILE* f = std::fopen(metrics_path_.c_str(), "w")) {
         const std::string text =
@@ -312,6 +337,8 @@ class Telemetry {
   obs::ChromeTraceBuilder trace_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string prom_path_;
+  std::string spans_path_;
   std::chrono::steady_clock::time_point last_record_;
   gpusim::HazardMode hazard_mode_ = gpusim::HazardMode::off;
   HazardCounter hazard_counters_[5] = {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -17,6 +18,7 @@
 #include "gpu_solvers/transition.hpp"
 #include "gpu_solvers/zhang_pcr_thomas.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "tridiag/lu_pivot.hpp"
 #include "tridiag/residual.hpp"
 
@@ -129,6 +131,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.status = rep.status;
         out.k = static_cast<int>(rep.k);
         out.faults = timeline_faults(rep.timeline);
+        out.timeline = rep.timeline;
         break;
       }
       case SolverKind::zhang: {
@@ -142,6 +145,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.time_us = stats.timing.time_us;
         out.launches = 1;
         out.faults = stats.faults;
+        out.timeline.add("zhang", stats);
         break;
       }
       case SolverKind::cr: {
@@ -155,6 +159,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.time_us = stats.timing.time_us;
         out.launches = 1;
         out.faults = stats.faults;
+        out.timeline.add("cr", stats);
         break;
       }
       case SolverKind::davidson: {
@@ -164,6 +169,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.launches = rep.timeline.segments().size();
         out.detail = std::to_string(rep.global_steps) + " global steps";
         out.faults = timeline_faults(rep.timeline);
+        out.timeline = rep.timeline;
         break;
       }
       case SolverKind::partition: {
@@ -172,6 +178,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
         out.faults = timeline_faults(rep.timeline);
+        out.timeline = rep.timeline;
         break;
       }
     }
@@ -192,6 +199,9 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
     static const auto fallback_ctr =
         obs::counter_handle("solver.guard.fallback");
     static const auto refined_ctr = obs::counter_handle("solver.guard.refined");
+    static const auto guard_hist =
+        obs::histogram_handle("solver.guard.wall_us");
+    const auto guard_t0 = std::chrono::steady_clock::now();
     // resize() wipes to fresh statuses — only size up guard-less kinds,
     // never the hybrid family's kernel-reported rows and pivot growth.
     if (out.status.size() != batch.num_systems()) {
@@ -214,6 +224,9 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
       fallback_ctr.add(static_cast<double>(rstats.fallback_solves));
       refined_ctr.add(static_cast<double>(rstats.refine_steps));
     }
+    guard_hist.record(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - guard_t0)
+                          .count());
   }
 
   if (out.supported && solution != nullptr) *solution = std::move(copy);
@@ -298,6 +311,16 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
       obs::counter_handle("solver.resilience.partial");
   static const auto deadline_ctr =
       obs::counter_handle("solver.resilience.deadline_exceeded");
+  static const auto attempt_hist =
+      obs::histogram_handle("solver.resilience.attempt_us");
+
+  // Root of the solve's span tree: every stage attempt (and, through the
+  // thread-local span stack, every launch those attempts perform) becomes
+  // a descendant. All no-ops when tracing is off.
+  obs::SpanScope root_span("resilient_solve");
+  root_span.attr("solver", obs::JsonValue(solver_name(kind)));
+  root_span.attr("systems", obs::JsonValue(batch.num_systems()));
+  root_span.attr("n", obs::JsonValue(batch.system_size()));
 
   ResilientOutcome ro;
   SolveOutcome& out = ro.outcome;
@@ -371,15 +394,25 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
         ar.stage = st.name;
         ar.attempt = attempt;
         ar.systems = pending.size();
-        ar.recovered = st.is_lu ? tridiag::host_lu_stage<T>(batch, pending,
-                                                            work, out.status)
-                                : tridiag::host_thomas_stage<T>(
-                                      batch, pending, work, out.status);
         std::vector<std::size_t> still;
-        for (const std::size_t m : pending) {
-          if (!out.status[m].ok()) still.push_back(m);
+        {
+          obs::SpanScope attempt_span("attempt");
+          attempt_span.attr("stage", obs::JsonValue(st.name));
+          attempt_span.attr("attempt", obs::JsonValue(attempt));
+          attempt_span.attr("systems", obs::JsonValue(ar.systems));
+          ar.recovered = st.is_lu ? tridiag::host_lu_stage<T>(batch, pending,
+                                                              work, out.status)
+                                  : tridiag::host_thomas_stage<T>(
+                                        batch, pending, work, out.status);
+          for (const std::size_t m : pending) {
+            if (!out.status[m].ok()) still.push_back(m);
+          }
+          ar.still_flagged = still.size();
+          attempt_span.attr(
+              "code", obs::JsonValue(tridiag::solve_code_name(ar.reason)));
+          attempt_span.attr("recovered", obs::JsonValue(ar.recovered));
+          attempt_span.attr("still_flagged", obs::JsonValue(ar.still_flagged));
         }
-        ar.still_flagged = still.size();
         rep.attempts.push_back(std::move(ar));
         pending.swap(still);
         break;
@@ -409,11 +442,27 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
         SolverRunOptions chunk_opts = sub_opts;
         if (hybrid_family && force_k >= 0) chunk_opts.force_k = force_k;
         tridiag::SystemBatch<T> subsol;
+        // Child span per dispatch: the launches run_solver performs parent
+        // under it via the thread-local span stack, and the attempt's
+        // outcome (SolveCode cause, recovery counts) is attached before
+        // the scope closes — including on the early-discard path.
+        obs::SpanScope attempt_span("attempt");
+        attempt_span.attr("stage", obs::JsonValue(st.name));
+        attempt_span.attr("attempt", obs::JsonValue(attempt));
+        attempt_span.attr("systems", obs::JsonValue(count));
         const SolveOutcome so = run_solver<T>(st.kind, dev, sub, chunk_opts,
                                               &subsol);
         rep.spent_us += so.time_us;
         out.launches += so.launches;
         out.faults.merge(so.faults);
+        attempt_hist.record(so.time_us);
+        const auto tag_attempt = [&attempt_span](
+                                     const tridiag::AttemptRecord& a) {
+          attempt_span.attr(
+              "code", obs::JsonValue(tridiag::solve_code_name(a.reason)));
+          attempt_span.attr("recovered", obs::JsonValue(a.recovered));
+          attempt_span.attr("still_flagged", obs::JsonValue(a.still_flagged));
+        };
 
         tridiag::AttemptRecord ar;
         ar.stage = st.name;
@@ -438,6 +487,7 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
             still.push_back(m);
           }
           ar.still_flagged = count;
+          tag_attempt(ar);
           rep.attempts.push_back(std::move(ar));
           continue;
         }
@@ -455,6 +505,7 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
             ++ar.still_flagged;
           }
         }
+        tag_attempt(ar);
         rep.attempts.push_back(std::move(ar));
       }
       pending.swap(still);

@@ -10,6 +10,7 @@
 
 #include "gpusim/device_spec.hpp"
 #include "gpusim/exec_engine.hpp"
+#include "gpusim/launch.hpp"
 #include "tridiag/batch_status.hpp"
 #include "tridiag/layout.hpp"
 #include "tridiag/resilient_solve.hpp"
@@ -35,6 +36,13 @@ struct SolveOutcome {
   double time_us = 0.0;       ///< simulated execution time
   std::size_t launches = 0;   ///< kernel launches performed
   std::string detail;         ///< rejection reason or extra info
+
+  /// Per-phase launch breakdown of the run (labels like "pcr",
+  /// "thomas-fwd"; single-launch solvers report one segment named after
+  /// the solver token). Empty when supported == false. This is what the
+  /// roofline profiler (obs::attribute_timeline / bench_profile)
+  /// attributes phase by phase.
+  gpusim::Timeline timeline;
 
   /// Per-system guard outcome, sized num_systems when guarding was
   /// requested (empty otherwise). Codes are the detection record: a

@@ -59,6 +59,7 @@ class BankTracker {
     }
     group.max_size = group.max_size > size ? group.max_size : size;
     ++costs_->shared_accesses;
+    costs_->shared_bytes += size;
   }
 
   /// Phase end: charge each ordinal group's serialization overhead.

@@ -48,6 +48,8 @@
 #include "gpusim/fault_injector.hpp"
 #include "gpusim/hazard_tracker.hpp"
 #include "gpusim/shared_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace tridsolve::gpusim {
 
@@ -165,7 +167,8 @@ class BlockContext {
   BlockContext(const DeviceSpec& dev, std::size_t block_id,
                std::size_t grid_blocks, int block_threads,
                WorkerScratch& scratch, KernelCosts& costs, bool record = true,
-               HazardTracker* hazards = nullptr, FaultSession* faults = nullptr)
+               HazardTracker* hazards = nullptr, FaultSession* faults = nullptr,
+               std::uint64_t span_parent = 0)
       : dev_(dev),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
@@ -174,7 +177,8 @@ class BlockContext {
         costs_(costs),
         record_(record),
         hazards_(hazards),
-        faults_(faults) {
+        faults_(faults),
+        span_parent_(span_parent) {
     assert(block_threads_ > 0);
     scratch_.prepare(dev_);
     scratch_.arena->reset();
@@ -220,12 +224,14 @@ class BlockContext {
   /// Run one barrier-delimited phase: fn(ThreadCtx&) for every tid.
   template <typename F>
   void phase(F&& fn) {
+    const double span_t0 = phase_span_begin();
     const int warp = dev_.warp_size;
     for (int tid = 0; tid < block_threads_; ++tid) {
       current_warp_ = static_cast<std::size_t>(tid / warp);
       ThreadCtx t(this, tid);
       fn(t);
     }
+    phase_span_end("phase", span_t0, 1);
     if (record_) {
       for (std::size_t w = 0; w < num_warps_; ++w) {
         scratch_.coalescers[w].flush();
@@ -250,6 +256,7 @@ class BlockContext {
   /// bank conflicts should keep using phase().
   template <typename F>
   void phase_rounds(std::size_t rounds, F&& fn) {
+    const double span_t0 = phase_span_begin();
     const int warp = dev_.warp_size;
     for (std::size_t r = 0; r < rounds; ++r) {
       for (int tid = 0; tid < block_threads_; ++tid) {
@@ -258,6 +265,7 @@ class BlockContext {
         fn(t, r);
       }
     }
+    phase_span_end("phase_rounds", span_t0, rounds);
     if (record_) {
       for (std::size_t w = 0; w < num_warps_; ++w) {
         scratch_.coalescers[w].flush();
@@ -273,6 +281,41 @@ class BlockContext {
 
  private:
   friend class ThreadCtx;
+
+  /// Phase tracing (active only for the block carrying a span parent —
+  /// block 0 of a traced launch). Wall-clock only: phases have no
+  /// individual simulated time (the timing model prices whole launches),
+  /// so sim_t0 == sim_t1 == the launch's sim cursor. Purely
+  /// observational: no cost recording, no functional effect.
+  [[nodiscard]] double phase_span_begin() const noexcept {
+    if (span_parent_ == 0) return 0.0;
+    return obs::SpanTracer::instance().now_wall_us();
+  }
+
+  void phase_span_end(const char* kind, double wall_t0,
+                      std::size_t rounds) noexcept {
+    if (span_parent_ == 0) return;
+    obs::SpanTracer& tracer = obs::SpanTracer::instance();
+    obs::Span s;
+    s.id = tracer.reserve_id();
+    const std::size_t index = phase_index_++;
+    if (s.id == 0) return;
+    try {
+      s.name = "phase" + std::to_string(index);
+      s.parent = span_parent_;
+      s.thread_ordinal = tracer.thread_ordinal();
+      s.wall_t0_us = wall_t0;
+      s.wall_t1_us = tracer.now_wall_us();
+      s.sim_t0_us = s.sim_t1_us = tracer.sim_now();
+      s.attrs.emplace_back("block", obs::JsonValue(block_id_));
+      s.attrs.emplace_back("kind", obs::JsonValue(kind));
+      s.attrs.emplace_back("rounds", obs::JsonValue(rounds));
+      const double wall_us = s.wall_t1_us - s.wall_t0_us;
+      tracer.emit(std::move(s));
+      obs::observe("gpusim.block_phase.wall_us", wall_us);
+    } catch (...) {
+    }
+  }
 
   void record_access(const void* p, std::size_t size, bool is_write,
                      std::size_t round) {
@@ -312,6 +355,8 @@ class BlockContext {
   bool record_;
   HazardTracker* hazards_ = nullptr;
   FaultSession* faults_ = nullptr;
+  std::uint64_t span_parent_ = 0;
+  std::size_t phase_index_ = 0;
   std::size_t num_warps_ = 0;
   std::size_t current_warp_ = 0;
 };

@@ -37,6 +37,7 @@ struct KernelCosts {
   // Shared memory (only for kernels that route accesses through
   // ThreadCtx::sload/sstore).
   std::size_t shared_accesses = 0;       ///< instrumented shared accesses
+  std::size_t shared_bytes = 0;          ///< bytes moved through shared memory
   std::size_t shared_serializations = 0; ///< extra conflict replays (cycles/warp)
 
   std::size_t shared_peak_bytes = 0;  ///< max shared-memory footprint per block
@@ -52,6 +53,7 @@ struct KernelCosts {
     warps += o.warps;
     barriers += o.barriers;
     shared_accesses += o.shared_accesses;
+    shared_bytes += o.shared_bytes;
     shared_serializations += o.shared_serializations;
     shared_peak_bytes = shared_peak_bytes > o.shared_peak_bytes
                             ? shared_peak_bytes

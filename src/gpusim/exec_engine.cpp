@@ -143,6 +143,7 @@ struct SamplePlan {
          a.stores == b.stores && a.rounds_total == b.rounds_total &&
          a.warps == b.warps && a.barriers == b.barriers &&
          a.shared_accesses == b.shared_accesses &&
+         a.shared_bytes == b.shared_bytes &&
          a.shared_serializations == b.shared_serializations &&
          a.shared_peak_bytes == b.shared_peak_bytes;
 }
@@ -271,7 +272,8 @@ struct ExecutionEngine::Impl {
           }
           BlockContext ctx(*req.dev, b, req.grid_blocks, req.block_threads,
                            ws, record ? slots[slot] : ws.discard, record, hz,
-                           fs ? &*fs : nullptr);
+                           fs ? &*fs : nullptr,
+                           b == 0 ? req.span_parent : 0);
           req.body(req.user, ctx);
           if (record) slots[slot].shared_peak_bytes = ws.arena->block_peak();
         }
@@ -555,9 +557,11 @@ void note_launch(std::size_t grid_blocks, bool timed, double kernel_us,
   static auto transactions = obs::counter_handle("gpusim.transactions");
   static auto bytes = obs::counter_handle("gpusim.bytes_requested");
   static auto barriers = obs::counter_handle("gpusim.barriers");
+  static auto kernel_hist = obs::histogram_handle("gpusim.launch.time_us");
   launches.add();
   blocks.add(static_cast<double>(grid_blocks));
   if (timed) {
+    kernel_hist.record(kernel_us);
     kernel.add(kernel_us);
     overhead.add(overhead_us);
     transactions.add(static_cast<double>(costs.transactions));

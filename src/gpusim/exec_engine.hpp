@@ -44,6 +44,7 @@
 // --max-retries) so benches configure the whole pipeline from one CLI.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -95,6 +96,10 @@ struct LaunchRequest {
   HazardMode hazards = HazardMode::off;
   BlockBody body = nullptr;
   void* user = nullptr;
+  /// Span id of the enclosing launch when tracing (0 = tracing off).
+  /// Block 0 parents its per-phase spans under it — one representative
+  /// block keeps phase tracing cheap and the span tree readable.
+  std::uint64_t span_parent = 0;
 };
 
 struct LaunchOutcome {

@@ -18,6 +18,7 @@
 #include "gpusim/exec_engine.hpp"
 #include "gpusim/timing_model.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace tridsolve::gpusim {
 
@@ -81,6 +82,17 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   req.body = [](void* user, BlockContext& ctx) {
     (*static_cast<Fn*>(user))(ctx);
   };
+
+  // Span tracing (read-only; every call below no-ops when the tracer is
+  // disabled). The id is reserved up front so block 0's per-phase spans
+  // can parent under this launch, and the span is emitted only after the
+  // timing model prices the launch — carrying both clocks.
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  const std::uint64_t span_id = tracer.reserve_id();
+  const double span_wall0 = span_id != 0 ? tracer.now_wall_us() : 0.0;
+  const double span_sim0 = span_id != 0 ? tracer.sim_now() : 0.0;
+  req.span_parent = span_id;
+
   const detail::LaunchOutcome outcome = detail::execute_grid(req);
 
   LaunchStats stats;
@@ -108,6 +120,26 @@ LaunchStats launch(const DeviceSpec& dev, LaunchConfig cfg, KernelFn&& body) {
   }
   detail::note_launch(cfg.grid_blocks, stats.timed, stats.timing.time_us,
                       stats.timing.overhead_us, stats.costs);
+  if (span_id != 0) {
+    if (stats.timed) tracer.advance_sim(stats.timing.time_us);
+    obs::Span s;
+    s.id = span_id;
+    s.parent = tracer.current_parent();
+    s.name = "launch";
+    s.thread_ordinal = tracer.thread_ordinal();
+    s.wall_t0_us = span_wall0;
+    s.wall_t1_us = tracer.now_wall_us();
+    s.sim_t0_us = span_sim0;
+    s.sim_t1_us = tracer.sim_now();
+    s.attrs.emplace_back("grid", obs::JsonValue(cfg.grid_blocks));
+    s.attrs.emplace_back("block", obs::JsonValue(cfg.block_threads));
+    s.attrs.emplace_back("instrument", obs::JsonValue(instrument_mode_name(mode)));
+    if (stats.timed) {
+      s.attrs.emplace_back("time_us", obs::JsonValue(stats.timing.time_us));
+      s.attrs.emplace_back("bound", obs::JsonValue(stats.timing.bound()));
+    }
+    tracer.emit(std::move(s));
+  }
   return stats;
 }
 

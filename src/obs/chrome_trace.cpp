@@ -1,6 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <map>
 
 #include "obs/metrics.hpp"
 
@@ -63,6 +66,7 @@ int ChromeTraceBuilder::add_timeline(const gpusim::DeviceSpec& dev,
       args["bank_conflict_replays"] = s.costs.shared_serializations;
       args["barriers"] = s.costs.barriers;
       args["warps"] = s.costs.warps;
+      args["shared_bytes"] = s.costs.shared_bytes;
       args["shared_peak_bytes"] = s.costs.shared_peak_bytes;
     }
     trace_events_.push_back(std::move(ev));
@@ -70,6 +74,86 @@ int ChromeTraceBuilder::add_timeline(const gpusim::DeviceSpec& dev,
     cursor_us += s.timing.time_us;
   }
   return tid;
+}
+
+std::size_t ChromeTraceBuilder::add_spans(const std::vector<Span>& spans) {
+  // id -> span, for depth computation via the parent chain.
+  std::map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : spans) by_id.emplace(s.id, &s);
+  const auto depth_of = [&by_id](const Span& s) {
+    int depth = 0;
+    std::uint64_t parent = s.parent;
+    while (parent != 0 && depth < 64) {
+      const auto it = by_id.find(parent);
+      if (it == by_id.end()) break;
+      ++depth;
+      parent = it->second->parent;
+    }
+    return depth;
+  };
+  const auto span_tid = [&depth_of](const Span& s) {
+    const int capped = std::min(depth_of(s), 7);
+    return 1000 + s.thread_ordinal * 8 + capped;
+  };
+
+  std::map<int, std::string> track_names;
+  std::size_t added = 0;
+  for (const Span& s : spans) {
+    const int tid = span_tid(s);
+    track_names.emplace(
+        tid, "spans t" + std::to_string(s.thread_ordinal) + " depth " +
+                 std::to_string(std::min(depth_of(s), 7)));
+    JsonValue ev = JsonValue::object();
+    ev["name"] = s.name;
+    ev["ph"] = "X";
+    ev["cat"] = "span";
+    ev["pid"] = 1;
+    ev["tid"] = tid;
+    ev["ts"] = s.wall_t0_us;
+    ev["dur"] = s.wall_t1_us >= s.wall_t0_us ? s.wall_t1_us - s.wall_t0_us
+                                             : 0.0;
+    JsonValue& args = ev["args"] = JsonValue::object();
+    args["span"] = s.id;
+    args["parent"] = s.parent;
+    args["sim_t0_us"] = s.sim_t0_us;
+    args["sim_t1_us"] = s.sim_t1_us;
+    for (const auto& [key, value] : s.attrs) args[key] = value;
+    trace_events_.push_back(std::move(ev));
+    ++events_;
+    ++added;
+
+    // Causal arrow parent -> child (flow events are exempt from the
+    // non-overlap check; only "X" events are tracked).
+    const auto parent_it = by_id.find(s.parent);
+    if (parent_it != by_id.end()) {
+      const Span& p = *parent_it->second;
+      JsonValue start = JsonValue::object();
+      start["name"] = "span-parent";
+      start["ph"] = "s";
+      start["cat"] = "span-flow";
+      start["id"] = s.id;
+      start["pid"] = 1;
+      start["tid"] = span_tid(p);
+      start["ts"] = p.wall_t0_us;
+      trace_events_.push_back(std::move(start));
+      JsonValue finish = JsonValue::object();
+      finish["name"] = "span-parent";
+      finish["ph"] = "f";
+      finish["bp"] = "e";
+      finish["cat"] = "span-flow";
+      finish["id"] = s.id;
+      finish["pid"] = 1;
+      finish["tid"] = tid;
+      finish["ts"] = s.wall_t0_us;
+      trace_events_.push_back(std::move(finish));
+    }
+  }
+  for (const auto& [tid, name] : track_names) {
+    JsonValue ev = metadata_event("thread_name", tid, name);
+    ev["pid"] = 1;
+    trace_events_.push_back(std::move(ev));
+  }
+  return added;
 }
 
 JsonValue ChromeTraceBuilder::to_json() const {

@@ -14,10 +14,12 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launch.hpp"
 #include "obs/json.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace tridsolve::obs {
 
@@ -31,6 +33,17 @@ class ChromeTraceBuilder {
   int add_timeline(const gpusim::DeviceSpec& dev,
                    const gpusim::Timeline& timeline,
                    const std::string& track_name);
+
+  /// Append causal spans (SpanTracer output) as wall-clock duration
+  /// events on pid 1 (timeline tracks live on pid 0). Track layout keeps
+  /// the validator's per-(pid,tid) non-overlap invariant: tid =
+  /// thread_ordinal * 8 + min(tree depth, 7), so nested spans land on
+  /// distinct tracks while same-depth spans from one thread are
+  /// sequential by construction. Each parent -> child edge additionally
+  /// becomes a flow-event pair ("s"/"f", id = child span id) so Perfetto
+  /// draws the causal arrows. Returns the number of duration events
+  /// added.
+  std::size_t add_spans(const std::vector<Span>& spans);
 
   /// Duration events recorded so far (metadata events not counted).
   [[nodiscard]] std::size_t event_count() const noexcept { return events_; }

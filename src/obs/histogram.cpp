@@ -1,0 +1,110 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace tridsolve::obs {
+
+namespace {
+
+/// Lock-free add on an atomic double (same CAS idiom as Counter::add).
+void atomic_add(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int LogHistogram::bucket_index(double value) noexcept {
+  if (!(value > kMinTrackable)) return 0;
+  int exp = 0;
+  // value/kMin > 1, so frexp gives m in [0.5, 1) with exp >= 1; the
+  // octave is exp-1 and m*2 in [1, 2) slices linearly into sub-buckets.
+  const double m = std::frexp(value / kMinTrackable, &exp);
+  const int octave = exp - 1;
+  if (octave >= kOctaves) return kBuckets - 1;
+  int sub = static_cast<int>((m * 2.0 - 1.0) * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // m*2 == 2 rounding guard
+  return octave * kSubBuckets + sub;
+}
+
+double LogHistogram::bucket_upper_bound(int idx) noexcept {
+  const int octave = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  return kMinTrackable * std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, octave);
+}
+
+void LogHistogram::record(double value) noexcept {
+  if (!(value >= 0.0)) return;  // drops negatives and NaN
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot LogHistogram::snapshot() const noexcept {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double mn = min_.load(std::memory_order_relaxed);
+  s.min = std::isfinite(mn) ? mn : 0.0;
+  s.max = max_.load(std::memory_order_relaxed);
+
+  // Walk buckets accumulating counts; a quantile reports the upper bound
+  // of the bucket where the cumulative count crosses q * total, clamped
+  // to the exact observed max so p99 never exceeds it.
+  std::uint64_t cumulative = 0;
+  std::uint64_t total = 0;
+  std::uint64_t per_bucket[kBuckets];
+  for (int i = 0; i < kBuckets; ++i) {
+    per_bucket[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += per_bucket[i];
+  }
+  if (total == 0) return s;  // racing reset(); report count/sum as seen
+  const auto quantile_target = [total](double q) {
+    auto t = static_cast<std::uint64_t>(q * static_cast<double>(total));
+    return t < total ? t + 1 : total;  // rank is 1-based
+  };
+  const std::uint64_t t50 = quantile_target(0.50);
+  const std::uint64_t t90 = quantile_target(0.90);
+  const std::uint64_t t99 = quantile_target(0.99);
+  for (int i = 0; i < kBuckets; ++i) {
+    if (per_bucket[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += per_bucket[i];
+    const double ub = bucket_upper_bound(i);
+    const double v = ub < s.max ? ub : s.max;
+    if (before < t50 && t50 <= cumulative) s.p50 = v;
+    if (before < t90 && t90 <= cumulative) s.p90 = v;
+    if (before < t99 && t99 <= cumulative) s.p99 = v;
+  }
+  return s;
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace tridsolve::obs

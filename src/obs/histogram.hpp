@@ -1,0 +1,84 @@
+#pragma once
+// Log-bucketed (HDR-style) latency histogram for the metrics registry.
+//
+// Values are non-negative doubles (typically microseconds). Buckets are
+// geometric: 8 linear sub-buckets per power-of-two octave starting at
+// kMinTrackable, so a recorded value lands in a bucket whose upper bound
+// is at most 12.5% above it — quantile snapshots (p50/p90/p99) therefore
+// carry <= 12.5% relative error by construction, which is plenty for the
+// "is this phase 2x slower" questions perfdiff asks. count/sum/min/max
+// are exact.
+//
+// Contracts: record() is noexcept, lock-free (relaxed atomics only) and
+// safe to call from any thread — the simulated-launch hot path records
+// into one of these per launch. snapshot() is a racy-but-consistent-
+// enough read: it never tears an individual counter, but a snapshot taken
+// while writers are active may see a sum that includes a value whose
+// bucket increment it missed (and vice versa); quiesce writers before
+// asserting exact totals, as the registry tests do. Like counter slots,
+// a LogHistogram never moves once created (the registry stores them in a
+// deque), so handles stay valid for the process lifetime.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace tridsolve::obs {
+
+/// Point-in-time summary of one histogram. Quantiles are bucket upper
+/// bounds (clamped to the observed max); zero-count snapshots are all 0.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class LogHistogram {
+ public:
+  /// Values below this collapse into bucket 0 (2^-10 ~ 0.001 us).
+  static constexpr double kMinTrackable = 1.0 / 1024.0;
+  static constexpr int kSubBuckets = 8;   ///< linear slices per octave
+  static constexpr int kOctaves = 52;     ///< kMin * 2^52 ~ 4.4e12 us top
+  static constexpr int kBuckets = kOctaves * kSubBuckets;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Record one sample. Negative/NaN samples are dropped.
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+
+  /// Zero every bucket and the count/sum/min/max (registry reset()).
+  void reset() noexcept;
+
+  /// Bucket index a value lands in (exposed for tests).
+  [[nodiscard]] static int bucket_index(double value) noexcept;
+  /// Upper bound of bucket `idx` (the value quantiles report).
+  [[nodiscard]] static double bucket_upper_bound(int idx) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min seeds at +inf so the first sample wins the CAS race cleanly;
+  // snapshot() maps a still-infinite min (no samples) back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace tridsolve::obs

@@ -36,6 +36,37 @@ void MetricsRegistry::set(std::string_view name, double value) noexcept {
   }
 }
 
+MetricsRegistry::Histogram MetricsRegistry::histogram(
+    std::string_view name) noexcept {
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = hist_by_name_.find(name);
+    if (it != hist_by_name_.end()) return Histogram(it->second);
+    HistSlot& slot = hist_slots_.emplace_back();
+    slot.name = std::string(name);
+    hist_by_name_.emplace(slot.name, &slot);
+    return Histogram(&slot);
+  } catch (...) {
+    // Drop the sample rather than propagate from instrumentation.
+    return Histogram();
+  }
+}
+
+bool MetricsRegistry::has_histogram(std::string_view name) const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = hist_by_name_.find(name);
+  return it != hist_by_name_.end() && it->second->hist.count() > 0;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const HistSlot& slot : hist_slots_) {
+    if (slot.hist.count() > 0) out.emplace(slot.name, slot.hist.snapshot());
+  }
+  return out;
+}
+
 const MetricsRegistry::Slot* MetricsRegistry::find_slot(
     std::string_view name) const noexcept {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -84,8 +115,20 @@ JsonValue MetricsRegistry::to_json() const {
   JsonValue out = JsonValue::object();
   JsonValue& c = out["counters"] = JsonValue::object();
   JsonValue& g = out["gauges"] = JsonValue::object();
+  JsonValue& h = out["histograms"] = JsonValue::object();
   for (const auto& [name, value] : counters()) c[name] = value;
   for (const auto& [name, value] : gauges()) g[name] = value;
+  for (const auto& [name, snap] : histograms()) {
+    JsonValue& entry = h[name] = JsonValue::object();
+    entry["count"] = snap.count;
+    entry["sum"] = snap.sum;
+    entry["min"] = snap.min;
+    entry["max"] = snap.max;
+    entry["mean"] = snap.mean();
+    entry["p50"] = snap.p50;
+    entry["p90"] = snap.p90;
+    entry["p99"] = snap.p99;
+  }
   return out;
 }
 
@@ -95,6 +138,7 @@ void MetricsRegistry::reset() noexcept {
     slot.value.store(0.0, std::memory_order_relaxed);
     slot.touched.store(false, std::memory_order_relaxed);
   }
+  for (HistSlot& slot : hist_slots_) slot.hist.reset();
   gauges_.clear();
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 
 namespace tridsolve::obs {
@@ -69,6 +70,35 @@ class MetricsRegistry {
     Slot* slot_ = nullptr;
   };
 
+  /// Stable storage cell for one named histogram (same lifetime contract
+  /// as counter Slots: created once, never moves, reset() zeroes it).
+  struct HistSlot {
+    std::string name;
+    LogHistogram hist;
+  };
+
+  /// Cheap copyable handle to one histogram slot: record() is lock-free
+  /// (relaxed atomics) with no string handling — safe on launch hot paths.
+  class Histogram {
+   public:
+    Histogram() = default;
+
+    void record(double value) const noexcept {
+      if (slot_) slot_->hist.record(value);
+    }
+
+    [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+      return slot_ ? slot_->hist.snapshot() : HistogramSnapshot{};
+    }
+
+    [[nodiscard]] bool valid() const noexcept { return slot_ != nullptr; }
+
+   private:
+    friend class MetricsRegistry;
+    explicit Histogram(HistSlot* s) noexcept : slot_(s) {}
+    HistSlot* slot_ = nullptr;
+  };
+
   /// The process-wide registry (benches, examples and tests share it).
   [[nodiscard]] static MetricsRegistry& instance() noexcept;
 
@@ -97,10 +127,25 @@ class MetricsRegistry {
   [[nodiscard]] bool has_counter(std::string_view name) const noexcept;
   [[nodiscard]] bool has_gauge(std::string_view name) const noexcept;
 
+  /// Resolve (creating on first use) the handle for histogram `name`.
+  /// Returns an invalid (no-op) handle only if slot allocation fails.
+  [[nodiscard]] Histogram histogram(std::string_view name) noexcept;
+
+  /// Record one sample into histogram `name` (cold-path convenience).
+  void observe(std::string_view name, double value) noexcept {
+    histogram(name).record(value);
+  }
+
+  [[nodiscard]] bool has_histogram(std::string_view name) const noexcept;
+
   [[nodiscard]] std::map<std::string, double> counters() const;
   [[nodiscard]] std::map<std::string, double> gauges() const;
 
-  /// {"counters": {...}, "gauges": {...}} snapshot.
+  /// Snapshots of every histogram that has recorded at least one sample.
+  [[nodiscard]] std::map<std::string, HistogramSnapshot> histograms() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} snapshot.
+  /// Each histogram dumps {count, sum, min, max, mean, p50, p90, p99}.
   [[nodiscard]] JsonValue to_json() const;
 
   /// Drop every counter and gauge (tests isolate themselves with this).
@@ -110,10 +155,19 @@ class MetricsRegistry {
  private:
   [[nodiscard]] const Slot* find_slot(std::string_view name) const noexcept;
 
+  // Snapshot-path safety note: every read API (counters()/gauges()/
+  // histograms()/to_json()) takes mu_ only to walk the name maps; the
+  // values themselves live in atomics (counter slots, histogram buckets)
+  // that concurrent add()/record() mutate without the lock. A snapshot is
+  // therefore always a consistent *per-metric* read (no torn doubles),
+  // racing writers just land in this snapshot or the next — pinned by the
+  // multi-threaded registry test.
   mutable std::mutex mu_;
   std::deque<Slot> slots_;  // deque: stable addresses as slots are added
   std::map<std::string, Slot*, std::less<>> by_name_;
   std::map<std::string, double, std::less<>> gauges_;
+  std::deque<HistSlot> hist_slots_;  // deque: stable addresses, like slots_
+  std::map<std::string, HistSlot*, std::less<>> hist_by_name_;
 };
 
 /// Shorthands against the process-wide registry.
@@ -128,6 +182,15 @@ inline void gauge(std::string_view name, double value) noexcept {
 [[nodiscard]] inline MetricsRegistry::Counter counter_handle(
     std::string_view name) noexcept {
   return MetricsRegistry::instance().handle(name);
+}
+/// Record one histogram sample (cold paths / tests).
+inline void observe(std::string_view name, double value) noexcept {
+  MetricsRegistry::instance().observe(name, value);
+}
+/// Resolve a cached histogram handle (once per registration site).
+[[nodiscard]] inline MetricsRegistry::Histogram histogram_handle(
+    std::string_view name) noexcept {
+  return MetricsRegistry::instance().histogram(name);
 }
 
 /// RAII wall-clock timer: on destruction adds the elapsed microseconds to

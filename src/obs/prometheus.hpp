@@ -1,0 +1,33 @@
+#pragma once
+// Prometheus text-exposition writer for the metrics registry.
+//
+// Emits the standard `# TYPE` + sample-line format (exposition format
+// version 0.0.4) so a future service layer can expose the registry on a
+// /metrics endpoint without reformatting. Mapping:
+//   counters   -> `counter` samples
+//   gauges     -> `gauge` samples
+//   histograms -> `summary` samples: quantile-labelled lines for
+//                 p50/p90/p99 plus `_sum` and `_count`
+// Metric names are sanitized to the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and dashes become underscores, any
+// other invalid character likewise. Output is deterministic (registry
+// maps are sorted by name).
+
+#include <string>
+
+namespace tridsolve::obs {
+
+class MetricsRegistry;
+
+/// Sanitize one metric name to the Prometheus grammar.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// The full registry snapshot in exposition format.
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+/// Write prometheus_text(registry) to `path`; false (with a note on
+/// stderr) on I/O failure.
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path);
+
+}  // namespace tridsolve::obs

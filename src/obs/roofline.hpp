@@ -1,0 +1,68 @@
+#pragma once
+// Roofline attribution: how close a simulated kernel (or one phase of a
+// solve) runs to the device's bandwidth and FLOP roofs.
+//
+// This operationalizes the paper's cost-model framing (Table III /
+// Eq. 8-9 count memory transactions per algorithm step): from a
+// KernelCosts we take bytes actually moved on the global-memory bus
+// (transactions x 128 B — the quantity the paper's model prices), bytes
+// moved through shared memory, and FP op-equivalents per precision; from
+// the DeviceSpec we take peak bandwidth and per-precision peak GFLOP/s.
+// Dividing by the modelled kernel time yields achieved rates and
+// fractions-of-roof, and the arithmetic intensity (FLOPs per global
+// byte) says which roof binds — for the paper's solvers that is nearly
+// always bandwidth, which is exactly why transaction counts predict
+// solver choice.
+//
+// Pure functions over value types: no registry access, no state — safe
+// anywhere, trivially testable.
+
+#include <map>
+#include <string>
+
+#include "gpusim/costs.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "obs/json.hpp"
+
+namespace tridsolve::obs {
+
+/// Achieved-vs-peak summary for one kernel / phase / aggregate.
+struct RooflineAttribution {
+  double time_us = 0.0;
+  double bytes_global = 0.0;  ///< transactions x transaction_bytes
+  double bytes_shared = 0.0;  ///< instrumented shared-memory traffic
+  double flops_f32 = 0.0;     ///< FP32 op-equivalents
+  double flops_f64 = 0.0;     ///< FP64 op-equivalents
+
+  double achieved_gbps = 0.0;    ///< global bytes / time
+  double peak_gbps = 0.0;        ///< DeviceSpec::mem_bandwidth_gbps
+  double achieved_gflops = 0.0;  ///< (f32 + f64 ops) / time
+  /// Fraction of the bandwidth roof: achieved_gbps / peak_gbps.
+  double frac_bandwidth = 0.0;
+  /// Fraction of the compute roof: per-precision utilizations summed
+  /// (f32 rate / f32 peak + f64 rate / f64 peak), since the lanes are
+  /// distinct resources on Fermi.
+  double frac_compute = 0.0;
+  /// Arithmetic intensity in FLOPs per global byte moved.
+  double intensity = 0.0;
+  /// Which roof the kernel sits closer to: "bandwidth" or "compute".
+  std::string bound = "bandwidth";
+
+  /// Flat object with every field above (sorted keys via JsonValue).
+  [[nodiscard]] JsonValue to_json() const;
+};
+
+/// Attribute one cost record executed over `time_us` against `dev`'s
+/// roofs. A zero/negative time yields zero rates (counters still filled).
+[[nodiscard]] RooflineAttribution attribute_roofline(
+    const gpusim::DeviceSpec& dev, const gpusim::KernelCosts& costs,
+    double time_us);
+
+/// Per-phase attribution of a solve timeline: kernel segments sharing a
+/// label are merged (costs and time summed) before attribution. Host
+/// segments (no KernelCosts) are skipped.
+[[nodiscard]] std::map<std::string, RooflineAttribution> attribute_timeline(
+    const gpusim::DeviceSpec& dev, const gpusim::Timeline& timeline);
+
+}  // namespace tridsolve::obs

@@ -1,0 +1,173 @@
+#include "obs/span_tracer.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace tridsolve::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point tracer_epoch() noexcept {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+thread_local std::vector<std::uint64_t> tls_span_stack;
+thread_local int tls_thread_ordinal = -1;
+
+}  // namespace
+
+SpanTracer& SpanTracer::instance() noexcept {
+  static SpanTracer tracer;
+  // Touch the epoch so wall timestamps are relative to first tracer use.
+  (void)tracer_epoch();
+  return tracer;
+}
+
+std::uint64_t SpanTracer::reserve_id() noexcept {
+  if (!enabled()) return 0;
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SpanTracer::emit(Span&& s) noexcept {
+  if (!enabled() || s.id == 0) return;
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() >= kMaxSpans) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    spans_.push_back(std::move(s));
+  } catch (...) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+double SpanTracer::now_wall_us() const noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   tracer_epoch())
+      .count();
+}
+
+void SpanTracer::advance_sim(double us) noexcept {
+  if (!enabled() || !(us > 0.0)) return;
+  double cur = sim_cursor_us_.load(std::memory_order_relaxed);
+  while (!sim_cursor_us_.compare_exchange_weak(cur, cur + us,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t SpanTracer::current_parent() const noexcept {
+  return tls_span_stack.empty() ? 0 : tls_span_stack.back();
+}
+
+void SpanTracer::push_current(std::uint64_t id) noexcept {
+  try {
+    tls_span_stack.push_back(id);
+  } catch (...) {
+  }
+}
+
+void SpanTracer::pop_current() noexcept {
+  if (!tls_span_stack.empty()) tls_span_stack.pop_back();
+}
+
+int SpanTracer::thread_ordinal() noexcept {
+  if (tls_thread_ordinal < 0) {
+    tls_thread_ordinal =
+        next_thread_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_ordinal;
+}
+
+std::vector<Span> SpanTracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t SpanTracer::span_count() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void SpanTracer::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_id_.store(1, std::memory_order_relaxed);
+  sim_cursor_us_.store(0.0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+JsonValue SpanTracer::span_json(const Span& s) {
+  JsonValue rec = JsonValue::object();
+  rec["span"] = s.id;
+  rec["parent"] = s.parent;
+  rec["name"] = s.name;
+  rec["thread"] = s.thread_ordinal;
+  rec["wall_t0_us"] = s.wall_t0_us;
+  rec["wall_t1_us"] = s.wall_t1_us;
+  rec["sim_t0_us"] = s.sim_t0_us;
+  rec["sim_t1_us"] = s.sim_t1_us;
+  JsonValue& attrs = rec["attrs"] = JsonValue::object();
+  for (const auto& [key, value] : s.attrs) attrs[key] = value;
+  return rec;
+}
+
+bool SpanTracer::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "span_tracer: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  bool ok = true;
+  for (const Span& s : spans()) {
+    const std::string line = span_json(s).dump() + "\n";
+    ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size();
+  }
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "span_tracer: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+SpanScope::SpanScope(std::string_view name) noexcept {
+  SpanTracer& tracer = SpanTracer::instance();
+  if (!tracer.enabled()) return;
+  span_.id = tracer.reserve_id();
+  if (span_.id == 0) return;
+  try {
+    span_.name = std::string(name);
+  } catch (...) {
+    span_.id = 0;
+    return;
+  }
+  span_.parent = tracer.current_parent();
+  span_.thread_ordinal = tracer.thread_ordinal();
+  span_.wall_t0_us = tracer.now_wall_us();
+  span_.sim_t0_us = tracer.sim_now();
+  tracer.push_current(span_.id);
+  active_ = true;
+}
+
+void SpanScope::attr(std::string_view key, JsonValue value) noexcept {
+  if (!active_) return;
+  try {
+    span_.attrs.emplace_back(std::string(key), std::move(value));
+  } catch (...) {
+  }
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  SpanTracer& tracer = SpanTracer::instance();
+  tracer.pop_current();
+  span_.wall_t1_us = tracer.now_wall_us();
+  span_.sim_t1_us = tracer.sim_now();
+  tracer.emit(std::move(span_));
+}
+
+}  // namespace tridsolve::obs

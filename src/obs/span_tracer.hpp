@@ -1,0 +1,156 @@
+#pragma once
+// Causal span tracing for the simulated solver stack.
+//
+// A *span* is one timed unit of work — a resilient-solve attempt, a
+// kernel launch, a per-block phase — with a parent link, so a run
+// produces a tree: resilient_solve → attempt[stage=pthomas] → launch →
+// phase. Each span carries begin/end in *both* clocks:
+//   * wall microseconds (steady_clock since tracer epoch) — what the
+//     host actually spent, and what Chrome-trace rendering uses;
+//   * simulated microseconds — the process-wide simulated-GPU clock,
+//     advanced by gpusim::launch by each launch's modelled time.
+// plus key/value attributes (the SolveCode of a failed attempt, grid
+// shape, instrument mode, ...).
+//
+// The tracer is a process-wide singleton, DISABLED by default: every
+// entry point checks one relaxed atomic and returns immediately when
+// off, so instrumented code paths are read-only and effectively free in
+// normal runs (the perf-attribution tests pin bit-identical outputs and
+// simulated time with tracing on vs off). Enable via set_enabled(true)
+// (bench::Telemetry does this when --spans-json is given).
+//
+// Two usage patterns:
+//   * Host code uses SpanScope (RAII): parenting is automatic through a
+//     thread-local open-span stack.
+//   * Engine/worker code (block phases run on pool threads where the
+//     host's stack is invisible) reserves an id up front, then emit()s a
+//     completed Span with an explicit parent.
+//
+// Thread-safety: reserve_id() and the clocks are atomics; emit() appends
+// under a mutex (bounded by kMaxSpans; overflow increments dropped()
+// instead of growing without bound). "Lock-free-enough": the only lock
+// is on the cold emit path, never inside a phase/launch hot loop while
+// disabled.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tridsolve::obs {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root (no parent)
+  std::string name;
+  double wall_t0_us = 0.0;
+  double wall_t1_us = 0.0;
+  double sim_t0_us = 0.0;
+  double sim_t1_us = 0.0;
+  /// Ordinal of the OS thread that ran the span (stable per thread,
+  /// assigned on first use) — Chrome-trace export lays tracks out by it.
+  int thread_ordinal = 0;
+  /// Insertion-ordered attributes; serialization sorts keys.
+  std::vector<std::pair<std::string, JsonValue>> attrs;
+};
+
+class SpanTracer {
+ public:
+  /// Completed spans kept before new emits are counted as dropped.
+  static constexpr std::size_t kMaxSpans = 1 << 16;
+
+  [[nodiscard]] static SpanTracer& instance() noexcept;
+
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Claim the next span id (ids are > 0); 0 when disabled.
+  [[nodiscard]] std::uint64_t reserve_id() noexcept;
+
+  /// Record a completed span. No-op when disabled or s.id == 0; drops
+  /// (counting) past kMaxSpans.
+  void emit(Span&& s) noexcept;
+
+  /// Wall microseconds since the tracer epoch (process start).
+  [[nodiscard]] double now_wall_us() const noexcept;
+
+  /// Current simulated-clock cursor in microseconds.
+  [[nodiscard]] double sim_now() const noexcept {
+    return sim_cursor_us_.load(std::memory_order_relaxed);
+  }
+  /// Advance the simulated clock (gpusim::launch adds each launch's
+  /// modelled time). No-op when disabled, keeping tracing read-only.
+  void advance_sim(double us) noexcept;
+
+  /// Thread-local open-span stack (SpanScope parenting). current_parent()
+  /// is 0 when this thread has no open span.
+  [[nodiscard]] std::uint64_t current_parent() const noexcept;
+  void push_current(std::uint64_t id) noexcept;
+  void pop_current() noexcept;
+
+  /// Stable small ordinal for the calling OS thread.
+  [[nodiscard]] int thread_ordinal() noexcept;
+
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] std::size_t span_count() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Drop every recorded span and zero the id counter, simulated clock
+  /// and dropped tally. Does not change enabled().
+  void reset() noexcept;
+
+  /// One JSONL line per span: {"attrs": {...}, "name": ..., "parent": ...,
+  /// "sim_t0_us": ..., "sim_t1_us": ..., "span": id, "thread": ordinal,
+  /// "wall_t0_us": ..., "wall_t1_us": ...} (keys sorted by JsonValue).
+  [[nodiscard]] static JsonValue span_json(const Span& s);
+  /// Write every recorded span as JSONL; false on I/O failure.
+  [[nodiscard]] bool write_jsonl(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<double> sim_cursor_us_{0.0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::atomic<int> next_thread_ordinal_{0};
+};
+
+/// RAII host-side span: begins on construction (parent = the thread's
+/// current open span), ends + emits on destruction. All no-ops when the
+/// tracer is disabled at construction time.
+class SpanScope {
+ public:
+  explicit SpanScope(std::string_view name) noexcept;
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope();
+
+  /// Attach a key/value attribute (no-op when inactive).
+  void attr(std::string_view key, JsonValue value) noexcept;
+
+  /// This span's id (0 when the tracer was disabled).
+  [[nodiscard]] std::uint64_t id() const noexcept { return span_.id; }
+
+ private:
+  Span span_;
+  bool active_ = false;
+};
+
+}  // namespace tridsolve::obs

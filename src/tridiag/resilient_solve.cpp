@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/span_tracer.hpp"
 #include "tridiag/lu_pivot.hpp"
 #include "tridiag/residual.hpp"
 #include "tridiag/thomas.hpp"
@@ -73,6 +74,8 @@ std::size_t host_thomas_stage(const SystemBatch<T>& pristine,
                               std::span<const std::size_t> systems,
                               SystemBatch<T>& dst, BatchStatus& status) {
   const std::size_t n = pristine.system_size();
+  obs::SpanScope span("host_thomas");
+  span.attr("systems", obs::JsonValue(systems.size()));
   std::vector<T> x(n);
   std::vector<T> cprime(n);
   std::size_t recovered = 0;
@@ -96,6 +99,7 @@ std::size_t host_thomas_stage(const SystemBatch<T>& pristine,
       ++recovered;
     }
   }
+  span.attr("recovered", obs::JsonValue(recovered));
   return recovered;
 }
 
@@ -104,6 +108,8 @@ std::size_t host_lu_stage(const SystemBatch<T>& pristine,
                           std::span<const std::size_t> systems,
                           SystemBatch<T>& dst, BatchStatus& status) {
   const std::size_t n = pristine.system_size();
+  obs::SpanScope span("host_lu");
+  span.attr("systems", obs::JsonValue(systems.size()));
   std::vector<T> x(n), dl(n), dd(n), du(n), du2(n);
   const GtsvWorkspace<T> ws{dl, dd, du, du2};
   std::size_t recovered = 0;
@@ -123,6 +129,7 @@ std::size_t host_lu_stage(const SystemBatch<T>& pristine,
       ++recovered;
     }
   }
+  span.attr("recovered", obs::JsonValue(recovered));
   return recovered;
 }
 

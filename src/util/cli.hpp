@@ -45,6 +45,8 @@ class Cli {
 ///   --json <path>         append one JSONL telemetry record per config
 ///   --trace-json <path>   write a Chrome trace-event (Perfetto) file
 ///   --metrics-json <path> dump the metrics registry at exit
+///   --metrics-prom <path> dump the registry in Prometheus text format
+///   --spans-json <path>   enable causal span tracing; write spans JSONL
 ///   --format {ascii,csv,json}  table output format
 ///   --csv                 legacy alias for --format csv
 ///   --sim-threads N       simulator worker threads (0 = default)

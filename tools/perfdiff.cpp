@@ -1,0 +1,185 @@
+// perfdiff: compare two telemetry JSONL files and flag perf regressions.
+//
+// Records are joined on a configurable key (default: the fields that
+// identify one bench configuration) and each --metrics field is compared
+// pairwise; a candidate value more than --threshold above the baseline
+// is a regression and the exit status is 1. Metrics are cost-like (time,
+// microseconds): higher is worse. CTest wires this against the committed
+// BENCH_*.json baselines with the simulated, deterministic fields, so a
+// real regression fails the suite while wall-clock noise cannot.
+//
+//   perfdiff --baseline BENCH_sim_throughput.json --candidate fresh.jsonl
+//            --metrics time_us --threshold 0.3
+//
+// --scale-candidate multiplies every candidate metric before comparison:
+// a self-test hook (ctest runs a WILL_FAIL case with 1.4 to prove an
+// injected ~40% regression is caught).
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+using namespace tridsolve;
+
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+struct Jsonl {
+  std::vector<obs::JsonValue> records;
+  bool ok = false;
+};
+
+Jsonl load_jsonl(const std::string& path) {
+  Jsonl out;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perfdiff: cannot open %s\n", path.c_str());
+    return out;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto v = obs::JsonValue::parse(line);
+    if (!v || !v->is_object()) {
+      std::fprintf(stderr, "perfdiff: %s:%zu: not a JSON object\n",
+                   path.c_str(), lineno);
+      return out;
+    }
+    out.records.push_back(std::move(*v));
+  }
+  out.ok = true;
+  return out;
+}
+
+/// Join key of one record: `field=value` pairs in key order, missing
+/// fields rendered empty so files with different schemas still align.
+std::string key_of(const obs::JsonValue& rec,
+                   const std::vector<std::string>& key_fields) {
+  std::string key;
+  for (const std::string& f : key_fields) {
+    key += f;
+    key += '=';
+    if (const obs::JsonValue* v = rec.find(f)) {
+      key += v->is_string() ? v->as_string() : v->dump();
+    }
+    key += ' ';
+  }
+  if (!key.empty()) key.pop_back();
+  return key;
+}
+
+/// Mean of `metric` over records sharing a key (repeats average out).
+struct Acc {
+  double sum = 0.0;
+  std::size_t count = 0;
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+std::map<std::string, Acc> collect(const std::vector<obs::JsonValue>& records,
+                                   const std::vector<std::string>& key_fields,
+                                   const std::string& metric) {
+  std::map<std::string, Acc> by_key;
+  for (const obs::JsonValue& rec : records) {
+    const obs::JsonValue* v = rec.find(metric);
+    if (!v || !v->is_number()) continue;
+    Acc& acc = by_key[key_of(rec, key_fields)];
+    acc.sum += v->as_number();
+    ++acc.count;
+  }
+  return by_key;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"baseline", "candidate", "metrics", "key", "threshold",
+                       "scale-candidate", "require-matches", "allow-missing"});
+  const std::string baseline_path = cli.get_string("baseline", "");
+  const std::string candidate_path = cli.get_string("candidate", "");
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: perfdiff --baseline FILE --candidate FILE "
+                 "[--metrics LIST] [--key LIST] [--threshold FRAC]\n");
+    return 2;
+  }
+  const auto metrics = split_list(cli.get_string("metrics", "time_us"));
+  const auto key_fields = split_list(
+      cli.get_string("key", "bench,solver,m,n,mode,phase,instrument"));
+  const double threshold = cli.get_double("threshold", 0.3);
+  const double scale = cli.get_double("scale-candidate", 1.0);
+  const auto require_matches =
+      static_cast<std::size_t>(cli.get_int("require-matches", 1));
+  const bool allow_missing = cli.get_bool("allow-missing", false);
+
+  const Jsonl base = load_jsonl(baseline_path);
+  const Jsonl cand = load_jsonl(candidate_path);
+  if (!base.ok || !cand.ok) return 2;
+
+  std::size_t matches = 0;
+  std::size_t regressions = 0;
+  std::size_t missing = 0;
+  for (const std::string& metric : metrics) {
+    const auto base_by_key = collect(base.records, key_fields, metric);
+    const auto cand_by_key = collect(cand.records, key_fields, metric);
+    for (const auto& [key, b] : base_by_key) {
+      const auto it = cand_by_key.find(key);
+      if (it == cand_by_key.end()) {
+        ++missing;
+        if (!allow_missing) {
+          std::fprintf(stderr, "MISSING  %s: no candidate record for [%s]\n",
+                       metric.c_str(), key.c_str());
+        }
+        continue;
+      }
+      ++matches;
+      const double bv = b.mean();
+      const double cv = it->second.mean() * scale;
+      // Both effectively zero: nothing to compare (e.g. functional_only
+      // records carry time_us = 0 by design).
+      if (std::fabs(bv) < 1e-12 && std::fabs(cv) < 1e-12) continue;
+      const double rel = bv != 0.0 ? (cv - bv) / bv : HUGE_VAL;
+      const bool regressed = rel > threshold;
+      if (regressed) ++regressions;
+      std::printf("%s %-12s %12.3f -> %12.3f  %+7.1f%%  [%s]\n",
+                  regressed ? "REGRESSION" : "ok        ", metric.c_str(), bv,
+                  cv, 100.0 * rel, key.c_str());
+    }
+  }
+
+  std::printf("perfdiff: %zu compared, %zu regressions, %zu missing "
+              "(threshold %+.0f%%)\n",
+              matches, regressions, missing, 100.0 * threshold);
+  if (matches < require_matches) {
+    std::fprintf(stderr,
+                 "perfdiff: only %zu matched configurations (need %zu) — "
+                 "check --key against the input schemas\n",
+                 matches, require_matches);
+    return 1;
+  }
+  if (!allow_missing && missing > 0) return 1;
+  return regressions > 0 ? 1 : 0;
+}

@@ -2,7 +2,7 @@
 // the `bench-smoke` CTest entries (and handy interactively):
 //
 //   validate_telemetry --jsonl table2.jsonl [--min-records 3]
-//                      [--trace table2.trace.json]
+//                      [--trace table2.trace.json] [--spans spans.jsonl]
 //
 // JSONL checks, per line: parses as a JSON object; `bench` and `solver`
 // are non-empty strings; `m` and `n` are positive numbers; `time_us` is a
@@ -19,6 +19,24 @@
 // resilient solve pipeline) is all-or-nothing too: the `resilience_*`
 // numbers >= 0, the two booleans 0/1, and `resilience_worst` a SolveCode
 // name.
+//
+// Every JSONL line must additionally be in *canonical form*: parsing it
+// and re-serializing compactly reproduces the input bytes. The JSON
+// writer sorts object keys and uses round-tripping number formatting, so
+// anything the observability layer emits is already canonical — the
+// check pins that byte-stability (diffable telemetry, stable perfdiff
+// keys) against drift.
+//
+// Roofline records (bench_profile --json, marked by a `frac_bandwidth`
+// field or a `roofline` object) must carry the full attribution block:
+// byte/FLOP tallies >= 0, achieved/peak rates >= 0, and `bound` either
+// "bandwidth" or "compute". A `hist_launch_us` object must hold ordered
+// quantiles (p50 <= p90 <= p99 <= max) with a count >= 0.
+//
+// Span checks (--spans, written by --spans-json): every line is an
+// object with a positive numeric `span` id, non-empty `name`, numeric
+// `parent` that is 0 or another span id present in the file, and
+// monotonic clocks (wall_t1_us >= wall_t0_us, sim_t1_us >= sim_t0_us).
 //
 // Chrome-trace checks: top-level object with a `traceEvents` array; every
 // event has a string `name` and `ph`; "X" (duration) events carry
@@ -82,6 +100,38 @@ std::string require_string(const JsonValue& obj, const std::string& key,
   return v.as_string();
 }
 
+/// Canonical-form pin: re-serializing the parsed line must reproduce the
+/// input byte for byte (sorted keys + round-tripping number format).
+void require_canonical(const JsonValue& rec, const std::string& line,
+                       const std::string& where) {
+  const std::string canon = rec.dump();
+  if (canon != line) {
+    fail(where + ": line is not in canonical form (re-serialized bytes "
+         "differ; keys unsorted or non-canonical number formatting?)\n  got: " +
+         line + "\n want: " + canon);
+  }
+}
+
+/// One roofline attribution object (a bench_profile per-phase record, or
+/// one entry of a total record's `roofline` map).
+void validate_roofline(const JsonValue& attr, const std::string& where) {
+  for (const char* key :
+       {"bytes_global", "bytes_shared", "flops_f32", "flops_f64",
+        "achieved_gbps", "achieved_gflops", "frac_bandwidth", "frac_compute",
+        "intensity", "time_us"}) {
+    if (require_number(attr, key, where) < 0) {
+      fail(where + ": \"" + std::string(key) + "\" < 0");
+    }
+  }
+  if (require_number(attr, "peak_gbps", where) <= 0) {
+    fail(where + ": peak_gbps <= 0");
+  }
+  const std::string bound = require_string(attr, "bound", where);
+  if (bound != "bandwidth" && bound != "compute") {
+    fail(where + ": bound \"" + bound + "\" is not bandwidth|compute");
+  }
+}
+
 std::size_t validate_jsonl(const std::string& path) {
   std::ifstream in(path);
   if (!in) fail("cannot open " + path);
@@ -95,6 +145,7 @@ std::size_t validate_jsonl(const std::string& path) {
     if (!parsed) fail(where + ": line is not valid JSON");
     if (!parsed->is_object()) fail(where + ": record is not a JSON object");
     const JsonValue& rec = *parsed;
+    require_canonical(rec, line, where);
 
     require_string(rec, "bench", where);
     require_string(rec, "solver", where);
@@ -213,6 +264,34 @@ std::size_t validate_jsonl(const std::string& path) {
       }
     }
 
+    // Roofline attribution: a bench_profile per-phase record carries the
+    // block inline; a total record maps phase label -> block.
+    if (rec.find("frac_bandwidth")) validate_roofline(rec, where);
+    if (const JsonValue* roof = rec.find("roofline")) {
+      if (!roof->is_object()) fail(where + ": roofline is not an object");
+      for (const auto& [phase, attr] : roof->as_object()) {
+        if (!attr.is_object()) {
+          fail(where + ": roofline[\"" + phase + "\"] is not an object");
+        }
+        validate_roofline(attr, where + " roofline[\"" + phase + "\"]");
+      }
+    }
+
+    // Latency-histogram quantiles: ordered, with a sane count.
+    if (const JsonValue* hist = rec.find("hist_launch_us")) {
+      const std::string hw = where + " hist_launch_us";
+      if (!hist->is_object()) fail(hw + ": not an object");
+      const double count = require_number(*hist, "count", hw);
+      if (count < 0) fail(hw + ": count < 0");
+      const double p50 = require_number(*hist, "p50", hw);
+      const double p90 = require_number(*hist, "p90", hw);
+      const double p99 = require_number(*hist, "p99", hw);
+      const double mx = require_number(*hist, "max", hw);
+      if (count > 0 && !(p50 <= p90 && p90 <= p99 && p99 <= mx)) {
+        fail(hw + ": quantiles out of order (need p50 <= p90 <= p99 <= max)");
+      }
+    }
+
     if (const JsonValue* phases = rec.find("phases")) {
       if (!phases->is_object()) fail(where + ": phases is not an object");
       double sum = 0.0;
@@ -231,6 +310,59 @@ std::size_t validate_jsonl(const std::string& path) {
     ++records;
   }
   return records;
+}
+
+std::size_t validate_spans(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  struct SpanRow {
+    double id, parent;
+    std::string where;
+  };
+  std::vector<SpanRow> rows;
+  std::map<double, std::size_t> ids;
+  std::size_t lineno = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string where = path + ":" + std::to_string(lineno);
+    const auto parsed = JsonValue::parse(line);
+    if (!parsed) fail(where + ": line is not valid JSON");
+    if (!parsed->is_object()) fail(where + ": span is not a JSON object");
+    const JsonValue& rec = *parsed;
+    require_canonical(rec, line, where);
+
+    const double id = require_number(rec, "span", where);
+    if (id <= 0) fail(where + ": span id <= 0");
+    if (!ids.emplace(id, lineno).second) {
+      fail(where + ": duplicate span id " + std::to_string(id));
+    }
+    require_string(rec, "name", where);
+    const double parent = require_number(rec, "parent", where);
+    if (parent < 0) fail(where + ": parent < 0");
+    if (require_number(rec, "thread", where) < 0) fail(where + ": thread < 0");
+    const double wall_t0 = require_number(rec, "wall_t0_us", where);
+    const double wall_t1 = require_number(rec, "wall_t1_us", where);
+    if (wall_t1 < wall_t0) fail(where + ": wall_t1_us < wall_t0_us");
+    const double sim_t0 = require_number(rec, "sim_t0_us", where);
+    const double sim_t1 = require_number(rec, "sim_t1_us", where);
+    if (sim_t1 < sim_t0) fail(where + ": sim_t1_us < sim_t0_us");
+    if (const JsonValue* attrs = rec.find("attrs")) {
+      if (!attrs->is_object()) fail(where + ": attrs is not an object");
+    }
+    rows.push_back({id, parent, where});
+  }
+  // Second pass: every non-zero parent must name a span in this file
+  // (spans are emitted at scope exit, so children precede parents —
+  // resolution cannot be checked line by line).
+  for (const SpanRow& row : rows) {
+    if (row.parent != 0 && ids.find(row.parent) == ids.end()) {
+      fail(row.where + ": parent " + std::to_string(row.parent) +
+           " does not name a span in this file");
+    }
+  }
+  return rows.size();
 }
 
 void validate_trace(const std::string& path) {
@@ -281,11 +413,12 @@ void validate_trace(const std::string& path) {
 
 int main(int argc, char** argv) {
   const tridsolve::util::Cli cli(argc, argv,
-                                 {"jsonl", "trace", "min-records"});
+                                 {"jsonl", "trace", "spans", "min-records"});
   const std::string jsonl = cli.get_string("jsonl", "");
   const std::string trace = cli.get_string("trace", "");
-  if (jsonl.empty() && trace.empty()) {
-    fail("nothing to validate: pass --jsonl <file> and/or --trace <file>");
+  const std::string spans = cli.get_string("spans", "");
+  if (jsonl.empty() && trace.empty() && spans.empty()) {
+    fail("nothing to validate: pass --jsonl, --trace and/or --spans");
   }
 
   if (!jsonl.empty()) {
@@ -298,6 +431,11 @@ int main(int argc, char** argv) {
     }
     std::printf("validate_telemetry: %s OK (%zu records)\n", jsonl.c_str(),
                 records);
+  }
+  if (!spans.empty()) {
+    const std::size_t n = validate_spans(spans);
+    if (n == 0) fail(spans + ": no spans");
+    std::printf("validate_telemetry: %s OK (%zu spans)\n", spans.c_str(), n);
   }
   if (!trace.empty()) validate_trace(trace);
   return 0;
