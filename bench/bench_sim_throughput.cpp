@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,24 @@ constexpr ModeSpec kModes[] = {
     {"functional", false, gpusim::InstrumentMode::functional_only},
 };
 
+[[nodiscard]] bool parse_on_off(const util::Cli& cli, const char* flag,
+                                bool fallback) {
+  const std::string v = cli.get_string(flag, fallback ? "on" : "off");
+  if (v == "on" || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "off" || v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument(std::string("--") + flag + " expects on|off, got '" +
+                              v + "'");
+}
+
 void panel(const gpusim::DeviceSpec& dev, std::size_t m, std::size_t n,
            const util::Cli& cli, bench::Telemetry& telemetry) {
-  const std::size_t pool_threads = gpusim::ExecutionEngine::instance().threads();
+  // exact-parallel must actually exercise the pool: on a box whose default
+  // thread count is 1 (or when --sim-threads 1 is set), bump it to 2 so the
+  // parallel rows measure pooled execution rather than silently re-running
+  // the serial path under a different label.
+  const std::size_t pool_threads =
+      std::max<std::size_t>(2, gpusim::ExecutionEngine::instance().threads());
+  const bool guard = parse_on_off(cli, "guard", false);
   util::Table table("Simulator throughput, hybrid M=" + std::to_string(m) +
                     " N=" + std::to_string(n) + " (double)");
   table.set_header({"mode", "threads", "wall_min[ms]", "wall_median[ms]",
@@ -66,15 +82,20 @@ void panel(const gpusim::DeviceSpec& dev, std::size_t m, std::size_t n,
         mode_filter.find(spec.name) == std::string::npos) {
       continue;
     }
-    const std::size_t threads = spec.serial ? 1 : pool_threads;
-    const gpusim::ScopedSimThreads threads_guard(threads);
+    const gpusim::ScopedSimThreads threads_guard(spec.serial ? 1
+                                                             : pool_threads);
     const gpusim::ScopedInstrumentMode mode_guard(spec.mode);
+    // Read back what the engine actually settled on so the JSONL rows
+    // record the real worker count, not the requested one.
+    const std::size_t threads = gpusim::ExecutionEngine::instance().threads();
 
+    gpu::HybridOptions opts;
+    opts.guard.detect = guard;
     const double blocks_before = registry.counter("gpusim.blocks");
     std::size_t calls = 0;
     gpu::HybridReport report;
     const bench::WallStats wall = bench::repeat_wall(cli, restore, [&] {
-      report = gpu::hybrid_solve<double>(dev, scratch);
+      report = gpu::hybrid_solve<double>(dev, scratch, opts);
       ++calls;
     });
     const double blocks_per_solve =
@@ -93,6 +114,8 @@ void panel(const gpusim::DeviceSpec& dev, std::size_t m, std::size_t n,
     extra["mode"] = spec.name;
     extra["instrument"] = gpusim::instrument_mode_name(spec.mode);
     extra["sim_threads"] = threads;
+    extra["guard"] = guard;
+    extra["vector"] = gpusim::ExecutionEngine::instance().vector_enabled();
     extra["repeats"] = wall.repeats;
     extra["wall_us"] = wall.min_us;
     extra["wall_median_us"] = wall.median_us;
@@ -117,8 +140,9 @@ void panel(const gpusim::DeviceSpec& dev, std::size_t m, std::size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(
-      argc, argv, util::with_obs_flags({"quick", "smoke", "m", "n", "modes"}));
+  const util::Cli cli(argc, argv,
+                      util::with_obs_flags(
+                          {"quick", "smoke", "m", "n", "modes", "guard"}));
   const auto dev = gpusim::gtx480();
   bench::Telemetry telemetry(cli, "sim_throughput");
 

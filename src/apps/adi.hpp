@@ -22,6 +22,7 @@
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/transpose_kernel.hpp"
 #include "gpusim/device_spec.hpp"
+#include "tridiag/thomas_plan.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace tridsolve::apps {
@@ -30,6 +31,12 @@ struct AdiOptions {
   double r = 0.4;  ///< alpha * dt / h^2 (same spacing both directions)
   gpu::HybridOptions solver;
   gpu::TransposeOptions transpose;
+  /// Factor the two sweep matrices once (they are constant across steps)
+  /// and run every subsequent sweep through the cached BatchThomasPlan
+  /// host path instead of re-eliminating on the device: each step then
+  /// only rebuilds right-hand sides. Sweep segments appear as host
+  /// (`add_fixed`) timeline entries; transposes still run on the device.
+  bool reuse_plans = false;
 };
 
 struct AdiStepReport {
@@ -60,11 +67,18 @@ class AdiIntegrator {
  private:
   void build_sweep_rhs(std::span<const T> field, bool x_sweep,
                        tridiag::SystemBatch<T>& batch) const;
+  void plan_sweep(bool x_sweep, std::span<const T> in, std::span<T> out,
+                  AdiStepReport& report);
 
   gpusim::DeviceSpec dev_;
   std::size_t nx_, ny_;
   AdiOptions opts_;
   util::AlignedBuffer<T> scratch_;  ///< transposed field staging
+  // Plan-reuse cache (reuse_plans): constant-matrix batches factored once
+  // on first step; later steps only rebuild d and run the cached sweeps.
+  tridiag::SystemBatch<T> xbatch_, ybatch_;
+  tridiag::BatchThomasPlan<T> xplan_, yplan_;
+  bool plans_ready_ = false;
 };
 
 extern template class AdiIntegrator<float>;

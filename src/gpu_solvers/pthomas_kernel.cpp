@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "gpusim/vector_engine.hpp"
+
 namespace tridsolve::gpu {
 
 namespace {
@@ -15,8 +17,15 @@ namespace {
 // across the block's independent systems and turns the interleaved
 // layout's accesses into contiguous row-major streams. Recorded costs are
 // identical to the per-thread loop form (rounds, addresses and op counts
-// are unchanged); per-thread carries (c', d', x_{i+1}) live in lane
-// arrays instead of registers.
+// are unchanged); per-thread carries (c', d', x_{i+1}) live in pooled
+// lane arrays instead of registers.
+//
+// Non-instrumented blocks additionally split into two twins: the scalar
+// raw twin (same loops, no instrumentation plumbing) and — when the
+// engine's vector path is on and no guard spans are attached — the
+// vectorized lane executor (gpusim/vector_engine.hpp), which batches
+// affine runs of lanes into contiguous SIMD inner loops. All three paths
+// are bit-identical (tests/test_sim_engine.cpp, tests/test_vector_engine.cpp).
 
 /// Round count and lane count for one block of a thread-per-system grid.
 template <typename T>
@@ -41,6 +50,213 @@ std::size_t grid_for(std::span<const tridiag::SystemRef<T>> systems,
                      int block_threads) {
   return (systems.size() + static_cast<std::size_t>(block_threads) - 1) /
          static_cast<std::size_t>(block_threads);
+}
+
+/// Extend the maximal affine lane segment starting at block lane `l0`:
+/// consecutive systems of equal size whose a/b/c/d arrays share one row
+/// stride and advance lane-to-lane by one common element step. Fills
+/// `seg` and returns one past the last lane of the run; `ok = false`
+/// means lane l0 itself has mismatched per-array strides (never produced
+/// by SystemBatch views) and must run scalar.
+template <typename T>
+struct SegmentScan {
+  std::size_t end = 0;
+  bool ok = false;
+};
+
+template <typename T>
+SegmentScan<T> affine_segment(std::span<const tridiag::SystemRef<T>> systems,
+                              std::size_t base, std::size_t l0,
+                              std::size_t lanes, gpusim::LaneSegment<T>& seg) {
+  const tridiag::SystemRef<T>& s0 = systems[base + l0];
+  const std::ptrdiff_t rs = s0.a.stride();
+  if (s0.b.stride() != rs || s0.c.stride() != rs || s0.d.stride() != rs) {
+    return {l0 + 1, false};
+  }
+  seg.a = s0.a.data();
+  seg.b = s0.b.data();
+  seg.c = s0.c.data();
+  seg.d = s0.d.data();
+  seg.row_step = rs;
+  seg.rows = s0.size();
+  seg.lane_step = 1;
+  seg.lanes = 1;
+  std::size_t l = l0 + 1;
+  for (; l < lanes; ++l) {
+    const tridiag::SystemRef<T>& p = systems[base + l - 1];
+    const tridiag::SystemRef<T>& s = systems[base + l];
+    if (s.size() != seg.rows || s.a.stride() != rs || s.b.stride() != rs ||
+        s.c.stride() != rs || s.d.stride() != rs) {
+      break;
+    }
+    const std::ptrdiff_t step = s.a.data() - p.a.data();
+    if (s.b.data() - p.b.data() != step || s.c.data() - p.c.data() != step ||
+        s.d.data() - p.d.data() != step) {
+      break;
+    }
+    if (l == l0 + 1) {
+      seg.lane_step = step;
+    } else if (step != seg.lane_step) {
+      break;
+    }
+    seg.lanes = l - l0 + 1;
+  }
+  return {l0 + seg.lanes, true};
+}
+
+/// Longest run of xout views starting at absolute lane `abs0` (at most
+/// `max_lanes`) that stays affine: equal row stride, constant
+/// lane-to-lane pointer step. Fills `out` and returns the run length.
+template <typename T>
+std::size_t xout_affine_run(std::span<const tridiag::StridedView<T>> xout,
+                            std::size_t abs0, std::size_t max_lanes,
+                            gpusim::LaneOutput<T>& out) {
+  const tridiag::StridedView<T>& x0 = xout[abs0];
+  out = {x0.data(), 1, x0.stride()};
+  std::size_t xl = 1;
+  for (; xl < max_lanes; ++xl) {
+    const tridiag::StridedView<T>& p = xout[abs0 + xl - 1];
+    const tridiag::StridedView<T>& s = xout[abs0 + xl];
+    if (s.stride() != x0.stride()) break;
+    const std::ptrdiff_t step = s.data() - p.data();
+    if (xl == 1) {
+      out.lane_step = step;
+    } else if (step != out.lane_step) {
+      break;
+    }
+  }
+  return xl;
+}
+
+/// Shift an affine segment to its lanes [t0, t0 + w).
+template <typename T>
+gpusim::LaneSegment<T> sub_segment(const gpusim::LaneSegment<T>& seg,
+                                   std::size_t t0, std::size_t w) {
+  gpusim::LaneSegment<T> sub = seg;
+  const std::ptrdiff_t shift = static_cast<std::ptrdiff_t>(t0) * seg.lane_step;
+  sub.a += shift;
+  sub.b += shift;
+  sub.c += shift;
+  sub.d += shift;
+  sub.lanes = w;
+  return sub;
+}
+
+/// Scalar fused Thomas solve of one system whose views are not affine
+/// (per-array strides differ — never produced by SystemBatch, kept for
+/// generality). Same arithmetic and order as the kernels.
+template <typename T>
+void scalar_fused_lane(const tridiag::SystemRef<T>& s,
+                       const tridiag::StridedView<T>* xv) {
+  const std::size_t n = s.size();
+  T cpl = T(0);
+  T dpl = T(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const T a = *s.a.ptr(i);
+    const T denom = *s.b.ptr(i) - cpl * a;
+    const T inv = T(1) / denom;
+    cpl = *s.c.ptr(i) * inv;
+    dpl = (*s.d.ptr(i) - dpl * a) * inv;
+    *s.c.ptr(i) = cpl;
+    *s.d.ptr(i) = dpl;
+  }
+  if (n == 0) return;
+  T v = *s.d.ptr(n - 1);
+  *(xv == nullptr ? s.d.ptr(n - 1) : xv->ptr(n - 1)) = v;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    v = *s.d.ptr(i) - *s.c.ptr(i) * v;
+    *(xv == nullptr ? s.d.ptr(i) : xv->ptr(i)) = v;
+  }
+}
+
+/// Grid-wide vectorized sweep for the functional fast path (the launch
+/// bodies become no-ops; see pthomas_solve). Walks maximal affine lane
+/// segments across the WHOLE grid — not per 128-lane block, so streams
+/// are megabytes long — and lane-tiles each segment (gpusim::lane_tile)
+/// so that when `fuse_backward` is set the backward substitution re-reads
+/// the forward sweep's c'/d' tile from cache instead of DRAM. Per-lane
+/// arithmetic and order are exactly the per-block twins': bit-identical
+/// outputs (pinned by tests/test_vector_engine.cpp).
+template <typename T>
+void grid_vector_sweep(std::span<const tridiag::SystemRef<T>> systems,
+                       std::span<const tridiag::StridedView<T>> xout,
+                       bool forward, bool fuse_backward) {
+  gpusim::LanePool& pool = gpusim::host_lane_pool();
+  pool.begin_block();
+  const bool backward = fuse_backward || !forward;
+  const std::size_t lanes = systems.size();
+  std::size_t l0 = 0;
+  while (l0 < lanes) {
+    gpusim::LaneSegment<T> seg;
+    auto scan = affine_segment(systems, 0, l0, lanes, seg);
+    if (!scan.ok) {
+      if (forward && backward) {
+        scalar_fused_lane(systems[l0], xout.empty() ? nullptr : &xout[l0]);
+      } else if (forward) {
+        T cp = T(0);
+        T dp = T(0);
+        // Strides differ per array: fall back to the ptr() form.
+        const tridiag::SystemRef<T>& s = systems[l0];
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          const T a = *s.a.ptr(i);
+          const T denom = *s.b.ptr(i) - cp * a;
+          const T inv = T(1) / denom;
+          cp = *s.c.ptr(i) * inv;
+          dp = (*s.d.ptr(i) - dp * a) * inv;
+          *s.c.ptr(i) = cp;
+          *s.d.ptr(i) = dp;
+        }
+      } else {
+        const tridiag::SystemRef<T>& s = systems[l0];
+        const std::size_t n = s.size();
+        if (n > 0) {
+          const tridiag::StridedView<T>* xv =
+              xout.empty() ? nullptr : &xout[l0];
+          T v = *s.d.ptr(n - 1);
+          *(xv == nullptr ? s.d.ptr(n - 1) : xv->ptr(n - 1)) = v;
+          for (std::size_t i = n - 1; i-- > 0;) {
+            v = *s.d.ptr(i) - *s.c.ptr(i) * v;
+            *(xv == nullptr ? s.d.ptr(i) : xv->ptr(i)) = v;
+          }
+        }
+      }
+      l0 = scan.end;
+      continue;
+    }
+    gpusim::LaneOutput<T> out{seg.d, seg.lane_step, seg.row_step};
+    if (backward && !xout.empty()) {
+      const std::size_t xl = xout_affine_run(xout, l0, seg.lanes, out);
+      seg.lanes = xl;
+      scan.end = l0 + xl;
+    }
+    const std::size_t tile =
+        std::min(seg.lanes, gpusim::lane_tile(seg.rows, sizeof(T)));
+    const std::span<T> cp = pool.take<T>(forward ? tile : 0);
+    const std::span<T> dp = pool.take<T>(forward ? tile : 0);
+    const std::span<T> xn = pool.take<T>(backward ? tile : 0);
+    for (std::size_t t0 = 0; t0 < seg.lanes; t0 += tile) {
+      const std::size_t w = std::min(tile, seg.lanes - t0);
+      const gpusim::LaneSegment<T> sub = sub_segment(seg, t0, w);
+      const gpusim::LaneOutput<T> osub{
+          out.x + static_cast<std::ptrdiff_t>(t0) * out.lane_step,
+          out.lane_step, out.row_step};
+      if (forward) {
+        std::fill(cp.begin(), cp.begin() + static_cast<std::ptrdiff_t>(w),
+                  T(0));
+        std::fill(dp.begin(), dp.begin() + static_cast<std::ptrdiff_t>(w),
+                  T(0));
+        gpusim::thomas_forward_lanes(sub, cp.data(), dp.data());
+      }
+      if (backward) {
+        gpusim::thomas_backward_lanes(sub, osub, xn.data());
+      }
+    }
+    l0 = scan.end;
+  }
+  std::size_t acquires = 0;
+  std::size_t reuses = 0;
+  pool.drain(acquires, reuses);
+  gpusim::detail::note_scratch(acquires, reuses);
 }
 
 /// Per-lane pivot-guard accumulator for the forward sweep. Detection only:
@@ -89,8 +305,28 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
   if (!guard.empty() && guard.size() != systems.size()) {
     throw std::invalid_argument("pthomas_solve: guard/systems size mismatch");
   }
+  if (!xout.empty() && xout.size() != systems.size()) {
+    throw std::invalid_argument("pthomas_solve: xout/systems size mismatch");
+  }
   PthomasStats stats;
   const bool guarding = !guard.empty();
+
+  // Functional fast path: no instrumentation, hazards, faults or guards
+  // active, so run one grid-wide fused sweep (forward + backward per lane
+  // tile, cache-blocked) and issue the two launches with empty bodies —
+  // launch accounting, timeline labels and grid shape stay exactly as in
+  // the per-block execution. Guard spans force the per-block twins.
+  if (!guarding && gpusim::ExecutionEngine::instance().functional_fast_path()) {
+    grid_vector_sweep<T>(systems, xout, /*forward=*/true,
+                         /*fuse_backward=*/true);
+    const std::size_t grid = grid_for(systems, block_threads);
+    gpusim::detail::note_vector_blocks(static_cast<double>(2 * grid));
+    stats.forward =
+        gpusim::launch(dev, {grid, block_threads}, [](gpusim::BlockContext&) {});
+    stats.backward =
+        gpusim::launch(dev, {grid, block_threads}, [](gpusim::BlockContext&) {});
+    return stats;
+  }
 
   // Forward reduction, in place: c <- c', d <- d'. One serialized memory
   // round per row (the loads of row i gate the elimination row i+1 needs).
@@ -98,24 +334,57 @@ PthomasStats pthomas_solve(const gpusim::DeviceSpec& dev,
       dev, {grid_for(systems, block_threads), block_threads},
       [&](gpusim::BlockContext& ctx) {
         const BlockLanes<T> blk(ctx, systems, block_threads);
-        std::vector<T> cp(blk.lanes, T(0));
-        std::vector<T> dp(blk.lanes, T(0));
-        std::vector<GuardAcc> acc(guarding ? blk.lanes : 0);
+        const std::span<T> cp = ctx.lane_buffer<T>(blk.lanes);
+        const std::span<T> dp = ctx.lane_buffer<T>(blk.lanes);
+        const std::span<GuardAcc> acc =
+            ctx.lane_buffer<GuardAcc>(guarding ? blk.lanes : 0);
         // Each lane owns one system, so the guard slot write below is
         // race-free regardless of block scheduling order.
         auto guard_row = [&](std::size_t lane, const tridiag::SystemRef<T>& s,
                              T a, T b, T c, T denom, std::size_t i) {
-          guard_check(acc[lane], a, b, c, denom, i);
+          GuardAcc g = acc[lane];
+          guard_check(g, a, b, c, denom, i);
+          acc[lane] = g;
           if (i + 1 == s.size()) {
-            guard[blk.base + lane] = guard_status(acc[lane]);
+            guard[blk.base + lane] = guard_status(g);
           }
         };
         if (!ctx.recording() && !ctx.hazard_checking() && !ctx.fault_checking()) {
-          // Non-instrumented blocks (sampled / functional_only): the same
-          // arithmetic in the same order — bit-exact with the recorded
-          // path below, pinned by tests/test_sim_engine.cpp — without the
-          // per-access instrumentation plumbing. Hazard checking forces
-          // the instrumented path so the detector sees every access.
+          if (!guarding && ctx.vector_enabled()) {
+            // Vectorized lane twin: affine runs of systems execute as
+            // contiguous SIMD inner loops. Per-lane arithmetic and order
+            // are exactly the scalar twin's — bit-identical outputs.
+            gpusim::detail::note_vector_blocks(1.0);
+            std::size_t l0 = 0;
+            while (l0 < blk.lanes) {
+              gpusim::LaneSegment<T> seg;
+              const auto scan =
+                  affine_segment(systems, blk.base, l0, blk.lanes, seg);
+              if (scan.ok) {
+                gpusim::thomas_forward_lanes(seg, cp.data() + l0,
+                                             dp.data() + l0);
+              } else {
+                const tridiag::SystemRef<T>& s = systems[blk.base + l0];
+                for (std::size_t i = 0; i < s.size(); ++i) {
+                  const T a = *s.a.ptr(i);
+                  const T denom = *s.b.ptr(i) - cp[l0] * a;
+                  const T inv = T(1) / denom;
+                  cp[l0] = *s.c.ptr(i) * inv;
+                  dp[l0] = (*s.d.ptr(i) - dp[l0] * a) * inv;
+                  *s.c.ptr(i) = cp[l0];
+                  *s.d.ptr(i) = dp[l0];
+                }
+              }
+              l0 = scan.end;
+            }
+            return;
+          }
+          // Scalar raw twin (sampled / functional_only, or guarded /
+          // --vector off): the same arithmetic in the same order —
+          // bit-exact with the recorded path below, pinned by
+          // tests/test_sim_engine.cpp — without the per-access
+          // instrumentation plumbing. Hazard checking forces the
+          // instrumented path so the detector sees every access.
           for (std::size_t i = 0; i < blk.rounds; ++i) {
             for (std::size_t lane = 0; lane < blk.lanes; ++lane) {
               const tridiag::SystemRef<T>& s = systems[blk.base + lane];
@@ -168,15 +437,64 @@ gpusim::LaunchStats pthomas_backward(const gpusim::DeviceSpec& dev,
   if (!xout.empty() && xout.size() != systems.size()) {
     throw std::invalid_argument("pthomas_backward: xout/systems size mismatch");
   }
+  // Functional fast path (see pthomas_solve): one grid-wide vectorized
+  // backward sweep, then an empty-bodied launch for the accounting.
+  if (gpusim::ExecutionEngine::instance().functional_fast_path()) {
+    grid_vector_sweep<T>(systems, xout, /*forward=*/false,
+                         /*fuse_backward=*/false);
+    const std::size_t grid = grid_for(systems, block_threads);
+    gpusim::detail::note_vector_blocks(static_cast<double>(grid));
+    return gpusim::launch(dev, {grid, block_threads},
+                          [](gpusim::BlockContext&) {});
+  }
   // Backward substitution: x_i = d'_i - c'_i x_{i+1}, walking rows from the
   // end; round r touches row n-1-r, x_{i+1} carries between rounds.
   return gpusim::launch(
       dev, {grid_for(systems, block_threads), block_threads},
       [&](gpusim::BlockContext& ctx) {
         const BlockLanes<T> blk(ctx, systems, block_threads);
-        std::vector<T> x_next(blk.lanes, T(0));
+        const std::span<T> x_next = ctx.lane_buffer<T>(blk.lanes);
         if (!ctx.recording() && !ctx.hazard_checking() && !ctx.fault_checking()) {
-          // Bit-exact raw twin of the recorded path below (see forward).
+          if (ctx.vector_enabled()) {
+            // Vectorized lane twin (see the forward sweep). A segment
+            // additionally requires the solution views to stay affine
+            // with the same run of lanes.
+            gpusim::detail::note_vector_blocks(1.0);
+            std::size_t l0 = 0;
+            while (l0 < blk.lanes) {
+              gpusim::LaneSegment<T> seg;
+              auto scan = affine_segment(systems, blk.base, l0, blk.lanes, seg);
+              gpusim::LaneOutput<T> out{seg.d, seg.lane_step, seg.row_step};
+              if (scan.ok && !xout.empty()) {
+                // Shrink the segment to the run the outputs also cover.
+                const std::size_t xl = xout_affine_run(
+                    xout, blk.base + l0, scan.end - l0, out);
+                scan.end = l0 + xl;
+                seg.lanes = xl;
+              }
+              if (scan.ok) {
+                gpusim::thomas_backward_lanes(seg, out, x_next.data() + l0);
+              } else {
+                const tridiag::SystemRef<T>& s = systems[blk.base + l0];
+                const std::size_t n = s.size();
+                if (n > 0) {
+                  T v = *s.d.ptr(n - 1);
+                  T* xdst = xout.empty() ? s.d.ptr(n - 1)
+                                         : xout[blk.base + l0].ptr(n - 1);
+                  *xdst = v;
+                  for (std::size_t i = n - 1; i-- > 0;) {
+                    v = *s.d.ptr(i) - *s.c.ptr(i) * v;
+                    xdst = xout.empty() ? s.d.ptr(i) : xout[blk.base + l0].ptr(i);
+                    *xdst = v;
+                  }
+                  x_next[l0] = v;
+                }
+              }
+              l0 = scan.end;
+            }
+            return;
+          }
+          // Bit-exact scalar raw twin of the recorded path below.
           for (std::size_t r = 0; r < blk.rounds; ++r) {
             for (std::size_t lane = 0; lane < blk.lanes; ++lane) {
               const tridiag::SystemRef<T>& s = systems[blk.base + lane];

@@ -104,6 +104,11 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
   SolveOutcome out;
   const bool fallback = run_opts.fallback || run_opts.refine;
   const bool guarding = run_opts.guard || fallback;
+  // The solve itself completed (outputs in `copy` are valid) even if the
+  // outcome is later demoted to supported == false — which is exactly
+  // what functional_only does when the untimed timeline refuses to
+  // report time_us. Solutions are handed out in either case.
+  bool solved = false;
   auto copy = batch.clone();
   std::optional<gpusim::ScopedInstrumentMode> instrument_guard;
   if (run_opts.instrument) instrument_guard.emplace(*run_opts.instrument);
@@ -124,6 +129,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         // growth; recovery stays here so all kinds share one LU path.
         opts.guard.detect = guarding;
         const auto rep = hybrid_solve(dev, copy, opts);
+        solved = true;
         out.supported = true;
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
@@ -140,6 +146,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
           return out;
         }
         const auto stats = zhang_solve(dev, copy);
+        solved = true;
         require_timed(stats);
         out.supported = true;
         out.time_us = stats.timing.time_us;
@@ -154,6 +161,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
           return out;
         }
         const auto stats = cr_kernel_solve(dev, copy);
+        solved = true;
         require_timed(stats);
         out.supported = true;
         out.time_us = stats.timing.time_us;
@@ -164,6 +172,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
       }
       case SolverKind::davidson: {
         const auto rep = davidson_solve(dev, copy);
+        solved = true;
         out.supported = true;
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
@@ -174,6 +183,7 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
       }
       case SolverKind::partition: {
         const auto rep = partition_solve_gpu(dev, copy, {});
+        solved = true;
         out.supported = true;
         out.time_us = rep.total_us();
         out.launches = rep.timeline.segments().size();
@@ -229,7 +239,9 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
                           .count());
   }
 
-  if (out.supported && solution != nullptr) *solution = std::move(copy);
+  if ((out.supported || solved) && solution != nullptr) {
+    *solution = std::move(copy);
+  }
   return out;
 }
 

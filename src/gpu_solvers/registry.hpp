@@ -101,7 +101,9 @@ struct SolverRunOptions {
 /// Unsupported configurations return supported = false instead of
 /// throwing, so sweeps can tabulate applicability. When `solution` is
 /// non-null it receives the solved copy (solution in d), letting callers
-/// compare solver outputs without re-running.
+/// compare solver outputs without re-running; functional_only runs —
+/// supported == false only because no timing exists — still hand out
+/// their solution (tests/test_vector_engine.cpp sweeps outputs this way).
 template <typename T>
 SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
                         const tridiag::SystemBatch<T>& batch,

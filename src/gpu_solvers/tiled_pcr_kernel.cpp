@@ -1,16 +1,24 @@
 #include "gpu_solvers/tiled_pcr_kernel.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
+#include "gpusim/vector_engine.hpp"
 #include "tridiag/pcr.hpp"
 
 namespace tridsolve::gpu {
 
 namespace {
+
+/// Upper bound on cfg.k used to size per-window tail arrays. 2^16 block
+/// threads is far beyond any DeviceSpec block limit, so this never bites
+/// real configurations; it exists so window state is trivially copyable
+/// (fixed-size tail array) and can live in pooled launch scratch.
+constexpr unsigned kMaxK = 16;
 
 /// One row in simulated shared memory.
 template <typename T>
@@ -70,6 +78,9 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
                                const TiledPcrConfig& cfg,
                                std::span<tridiag::SolveStatus> window_guard) {
   if (cfg.k == 0) throw std::invalid_argument("tiled_pcr_kernel: k must be >= 1");
+  if (cfg.k > kMaxK) {
+    throw std::invalid_argument("tiled_pcr_kernel: k exceeds supported maximum");
+  }
   if (!window_guard.empty() && window_guard.size() != work.size()) {
     throw std::invalid_argument(
         "tiled_pcr_kernel: window_guard/work size mismatch");
@@ -119,11 +130,14 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
   stats.launch = gpusim::launch(dev, {grid, threads}, [&](gpusim::BlockContext& ctx) {
     // ---- Window state for this block -----------------------------------
     struct Window {
-      TiledPcrWork<T> w;
-      std::ptrdiff_t P;         // load cursor (start of current sub-tile)
-      std::size_t iters;        // total iterations for this window
-      std::span<SRow<T>> buf[2];           // ping-pong level batches
-      std::vector<std::span<SRow<T>>> tails;  // tails[j]: level-j tail, 2^{j+1} rows
+      TiledPcrWork<T> w{};
+      std::ptrdiff_t P = 0;     // load cursor (start of current sub-tile)
+      std::size_t iters = 0;    // total iterations for this window
+      std::span<SRow<T>> buf[2]{};         // ping-pong level batches
+      // tails[j]: level-j tail, 2^{j+1} rows. Fixed-size array (not a
+      // vector) so Window is trivially copyable and can live in the
+      // per-launch lane pool instead of a heap vector.
+      std::array<std::span<SRow<T>>, kMaxK> tails{};
       tridiag::SolveStatus guard_st{};     // per-window pivot guard (if guarding)
     };
     const std::size_t first = ctx.block_id() * G;
@@ -135,7 +149,120 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
     std::size_t block_row_loads = 0;
     std::size_t block_eliminations = 0;
 
-    std::vector<Window> win(count);
+    if (!ctx.recording() && !ctx.hazard_checking() && !ctx.fault_checking() &&
+        !guarding && ctx.vector_enabled()) {
+      // Vectorized raw twin: windows of a block share no data, so each
+      // runs to completion as straight-line loops over the whole sub-tile
+      // batch — no per-thread phase dispatch. Element order within every
+      // loop matches the instrumented path's (idx ascending enumerates the
+      // same (cc, tid) work items; the fused forward recurrence per tid
+      // still sees its rows in ascending order), all reads come from the
+      // opposite ping-pong buffer or the tail cache, and the arithmetic is
+      // untouched — outputs and the row-load/elimination tallies are
+      // bit-identical to the recorded path (tests/test_vector_engine.cpp).
+      gpusim::detail::note_vector_blocks(1.0);
+      for (std::size_t g = 0; g < count; ++g) {
+        const TiledPcrWork<T>& w = work[first + g];
+        std::ptrdiff_t P = static_cast<std::ptrdiff_t>(w.r0) -
+                           static_cast<std::ptrdiff_t>(warm * S);
+        const std::size_t len = w.r1 - w.r0;
+        const std::size_t iters =
+            warm + (len + static_cast<std::size_t>(halo) + S - 1) / S;
+        const std::span<SRow<T>> buf[2] = {ctx.shared<SRow<T>>(S),
+                                           ctx.shared<SRow<T>>(S)};
+        std::array<std::span<SRow<T>>, kMaxK> tails{};
+        for (unsigned j = 0; j < cfg.k; ++j) {
+          tails[j] = ctx.shared<SRow<T>>(std::size_t{2} << j);
+          for (SRow<T>& r : tails[j]) r = identity_srow<T>();
+        }
+        const std::span<T> cp = ctx.lane_buffer<T>(
+            cfg.fuse_thomas_forward ? static_cast<std::size_t>(threads) : 0);
+        const std::span<T> dp = ctx.lane_buffer<T>(
+            cfg.fuse_thomas_forward ? static_cast<std::size_t>(threads) : 0);
+        const auto n = static_cast<std::ptrdiff_t>(w.sys.size());
+        for (std::size_t iter = 0; iter < iters; ++iter) {
+          // LOAD: level-0 batch into buf[0].
+          {
+            SRow<T>* const b0 = buf[0].data();
+            for (std::size_t idx = 0; idx < S; ++idx) {
+              const std::ptrdiff_t pos = P + static_cast<std::ptrdiff_t>(idx);
+              if (pos >= 0 && pos < n) {
+                const auto u = static_cast<std::size_t>(pos);
+                b0[idx] = SRow<T>{*w.sys.a.ptr(u), *w.sys.b.ptr(u),
+                                  *w.sys.c.ptr(u), *w.sys.d.ptr(u)};
+                ++block_row_loads;
+              } else {
+                b0[idx] = identity_srow<T>();
+              }
+            }
+          }
+          // k PCR levels: combine, then save the level j-1 tail.
+          for (unsigned j = 1; j <= cfg.k; ++j) {
+            const std::size_t reach = std::size_t{1} << (j - 1);
+            const std::size_t span_j = std::size_t{2} << (j - 1);
+            const std::span<SRow<T>> src = buf[(j - 1) & 1u];
+            const std::span<SRow<T>> dst = buf[j & 1u];
+            const std::span<SRow<T>> tail = tails[j - 1];
+            auto read = [&](std::ptrdiff_t rel) -> const SRow<T>& {
+              return rel >= 0 ? src[static_cast<std::size_t>(rel)]
+                              : tail[static_cast<std::size_t>(
+                                    rel + static_cast<std::ptrdiff_t>(span_j))];
+            };
+            for (std::size_t i = 0; i < S; ++i) {
+              const auto idx = static_cast<std::ptrdiff_t>(i);
+              const SRow<T>& lo = read(idx - static_cast<std::ptrdiff_t>(span_j));
+              const SRow<T>& mid = read(idx - static_cast<std::ptrdiff_t>(reach));
+              const SRow<T>& hi = read(idx);
+              const std::ptrdiff_t pos =
+                  P - (static_cast<std::ptrdiff_t>(span_j) - 1) + idx;
+              const T k1 = mid.a / lo.b;
+              const T k2 = mid.c / hi.b;
+              dst[i] = SRow<T>{-lo.a * k1, mid.b - lo.c * k1 - hi.a * k2,
+                               -hi.c * k2, mid.d - lo.d * k1 - hi.d * k2};
+              if (pos >= 0 && pos < n) ++block_eliminations;
+            }
+            for (std::size_t tid = 0; tid < span_j; ++tid) {
+              tail[tid] = src[S - span_j + tid];
+            }
+          }
+          // STORE: level-k batch back to global (or fused forward).
+          {
+            const std::span<SRow<T>> out = buf[cfg.k & 1u];
+            const auto r0 = static_cast<std::ptrdiff_t>(w.r0);
+            const auto r1 = static_cast<std::ptrdiff_t>(w.r1);
+            for (std::size_t idx = 0; idx < S; ++idx) {
+              const std::ptrdiff_t pos =
+                  P - halo + static_cast<std::ptrdiff_t>(idx);
+              if (pos < r0 || pos >= r1) continue;
+              const auto u = static_cast<std::size_t>(pos);
+              const SRow<T>& row = out[idx];
+              if (cfg.fuse_thomas_forward) {
+                const std::size_t tid = idx % static_cast<std::size_t>(threads);
+                const T denom = row.b - cp[tid] * row.a;
+                const T inv = T(1) / denom;
+                cp[tid] = row.c * inv;
+                dp[tid] = (row.d - dp[tid] * row.a) * inv;
+                *w.out.c.ptr(u) = cp[tid];
+                *w.out.d.ptr(u) = dp[tid];
+              } else {
+                *w.out.a.ptr(u) = row.a;
+                *w.out.b.ptr(u) = row.b;
+                *w.out.c.ptr(u) = row.c;
+                *w.out.d.ptr(u) = row.d;
+              }
+            }
+          }
+          P += static_cast<std::ptrdiff_t>(S);
+        }
+      }
+      std::atomic_ref<std::size_t>(stats.row_loads)
+          .fetch_add(block_row_loads, std::memory_order_relaxed);
+      std::atomic_ref<std::size_t>(stats.eliminations)
+          .fetch_add(block_eliminations, std::memory_order_relaxed);
+      return;
+    }
+
+    const std::span<Window> win = ctx.lane_buffer<Window>(count);
     std::size_t max_iters = 0;
     for (std::size_t g = 0; g < count; ++g) {
       auto& wd = win[g];
@@ -146,7 +273,6 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
       wd.iters = warm + (len + static_cast<std::size_t>(halo) + S - 1) / S;
       wd.buf[0] = ctx.shared<SRow<T>>(S);
       wd.buf[1] = ctx.shared<SRow<T>>(S);
-      wd.tails.resize(cfg.k);
       for (unsigned j = 0; j < cfg.k; ++j) {
         wd.tails[j] = ctx.shared<SRow<T>>(std::size_t{2} << j);
       }
@@ -154,8 +280,11 @@ TiledPcrStats tiled_pcr_kernel(const gpusim::DeviceSpec& dev,
     }
 
     // "Registers" of the fused Thomas forward: per thread, per window.
-    std::vector<T> fwd_cp(count * threads, T(0));
-    std::vector<T> fwd_dp(count * threads, T(0));
+    // Pool-backed: zero-filled by lane_buffer, matching the T(0) carries.
+    const std::span<T> fwd_cp =
+        ctx.lane_buffer<T>(count * static_cast<std::size_t>(threads));
+    const std::span<T> fwd_dp =
+        ctx.lane_buffer<T>(count * static_cast<std::size_t>(threads));
 
     // ---- Init: identity tails (lead-in state of Fig. 10) ----------------
     ctx.phase([&](gpusim::ThreadCtx& t) {

@@ -48,6 +48,7 @@
 #include "gpusim/fault_injector.hpp"
 #include "gpusim/hazard_tracker.hpp"
 #include "gpusim/shared_memory.hpp"
+#include "gpusim/vector_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
 
@@ -62,6 +63,10 @@ struct WorkerScratch {
   std::unique_ptr<SharedArena> arena;
   std::vector<WarpCoalescer> coalescers;
   std::vector<BankTracker> banks;
+  /// Per-block lane carries (c', d', x_next, PCR window state) — bump
+  /// pool, warm across blocks and launches so steady-state functional
+  /// blocks perform zero heap allocations (gpusim.scratch.* metrics).
+  LanePool lanes;
   /// Cost sink trackers stay attached to between blocks; never reported.
   KernelCosts discard;
 
@@ -168,7 +173,7 @@ class BlockContext {
                std::size_t grid_blocks, int block_threads,
                WorkerScratch& scratch, KernelCosts& costs, bool record = true,
                HazardTracker* hazards = nullptr, FaultSession* faults = nullptr,
-               std::uint64_t span_parent = 0)
+               std::uint64_t span_parent = 0, bool vector_ok = false)
       : dev_(dev),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
@@ -176,12 +181,14 @@ class BlockContext {
         scratch_(scratch),
         costs_(costs),
         record_(record),
+        vector_(vector_ok),
         hazards_(hazards),
         faults_(faults),
         span_parent_(span_parent) {
     assert(block_threads_ > 0);
     scratch_.prepare(dev_);
     scratch_.arena->reset();
+    scratch_.lanes.begin_block();
     if (hazards_ != nullptr) {
       hazards_->begin_block(scratch_.arena.get(), block_id_, block_threads_);
     }
@@ -214,11 +221,24 @@ class BlockContext {
   [[nodiscard]] bool fault_checking() const noexcept {
     return faults_ != nullptr;
   }
+  /// True when the engine allows the vectorized lane fast path
+  /// (vector_engine.hpp). Kernels take it only on top of the raw-twin
+  /// gate — never while recording, hazard checking, fault checking or
+  /// guarding — and must stay bit-identical to the scalar twin.
+  [[nodiscard]] bool vector_enabled() const noexcept { return vector_; }
 
   /// Allocate shared memory for this block (throws if over capacity).
   template <typename T>
   [[nodiscard]] std::span<T> shared(std::size_t n) {
     return {scratch_.arena->allocate<T>(n), n};
+  }
+
+  /// Per-block lane carries from the worker's warm LanePool: host-side
+  /// bookkeeping storage (simulated registers), value-initialized, valid
+  /// until the block ends. Never counts against simulated shared memory.
+  template <typename T>
+  [[nodiscard]] std::span<T> lane_buffer(std::size_t n) {
+    return scratch_.lanes.take<T>(n);
   }
 
   /// Run one barrier-delimited phase: fn(ThreadCtx&) for every tid.
@@ -353,6 +373,7 @@ class BlockContext {
   WorkerScratch& scratch_;
   KernelCosts& costs_;
   bool record_;
+  bool vector_ = false;
   HazardTracker* hazards_ = nullptr;
   FaultSession* faults_ = nullptr;
   std::uint64_t span_parent_ = 0;

@@ -168,6 +168,7 @@ struct ExecutionEngine::Impl {
   std::size_t threads = default_sim_threads();
   InstrumentMode default_mode = InstrumentMode::exact;
   HazardMode default_hazards = HazardMode::off;
+  bool vector_enabled = true;
   std::size_t sample_target = 16;
   FaultPlan fault_plan;
   std::uint64_t fault_launch_counter = 0;  ///< launches since plan install
@@ -273,7 +274,7 @@ struct ExecutionEngine::Impl {
           BlockContext ctx(*req.dev, b, req.grid_blocks, req.block_threads,
                            ws, record ? slots[slot] : ws.discard, record, hz,
                            fs ? &*fs : nullptr,
-                           b == 0 ? req.span_parent : 0);
+                           b == 0 ? req.span_parent : 0, req.vector_ok);
           req.body(req.user, ctx);
           if (record) slots[slot].shared_peak_bytes = ws.arena->block_peak();
         }
@@ -335,6 +336,23 @@ void ExecutionEngine::set_default_hazards(HazardMode mode) noexcept {
   impl_->default_hazards = mode;
 }
 
+bool ExecutionEngine::vector_enabled() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->vector_enabled;
+}
+
+void ExecutionEngine::set_vector_enabled(bool on) noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  impl_->vector_enabled = on;
+}
+
+bool ExecutionEngine::functional_fast_path() const noexcept {
+  const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
+  return impl_->default_mode == InstrumentMode::functional_only &&
+         impl_->default_hazards == HazardMode::off &&
+         !impl_->fault_plan.active() && impl_->vector_enabled;
+}
+
 std::size_t ExecutionEngine::sample_target() const noexcept {
   const std::lock_guard<std::mutex> lk(impl_->cfg_mu);
   return impl_->sample_target;
@@ -385,6 +403,16 @@ void configure_engine_from_cli(const util::Cli& cli) {
   }
   if (const auto mode = cli.get("check-hazards")) {
     engine.set_default_hazards(parse_hazard_mode(*mode));
+  }
+  if (const auto vec = cli.get("vector")) {
+    if (*vec == "on" || *vec == "true" || *vec == "1" || *vec == "yes") {
+      engine.set_vector_enabled(true);
+    } else if (*vec == "off" || *vec == "false" || *vec == "0" ||
+               *vec == "no") {
+      engine.set_vector_enabled(false);
+    } else {
+      throw std::invalid_argument("--vector must be on|off");
+    }
   }
   if (cli.get("fault-rate") || cli.get("fault-seed") || cli.get("fault-kinds")) {
     FaultPlan plan = engine.fault_plan();
@@ -481,6 +509,17 @@ LaunchOutcome execute_grid(const LaunchRequest& req) {
   }
   im.job = nullptr;
   im.plan = nullptr;
+  // Per-launch LanePool bookkeeping: sum each participant's growth /
+  // warm-serve tallies into gpusim.scratch.{acquires,reuses}. Counter
+  // sums are order-independent, so the totals are worker-count invariant.
+  {
+    std::size_t acquires = 0;
+    std::size_t reuses = 0;
+    for (std::size_t i = 0; i < im.participants; ++i) {
+      im.scratch[i]->lanes.drain(acquires, reuses);
+    }
+    note_scratch(acquires, reuses);
+  }
   if (im.first_error) std::rethrow_exception(im.first_error);
 
   LaunchOutcome out;

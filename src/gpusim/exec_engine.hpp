@@ -94,6 +94,9 @@ struct LaunchRequest {
   int block_threads = 0;
   InstrumentMode mode = InstrumentMode::exact;
   HazardMode hazards = HazardMode::off;
+  /// Engine snapshot of vector_enabled(): blocks may take the vectorized
+  /// lane fast path (vector_engine.hpp) on top of the raw-twin gate.
+  bool vector_ok = true;
   BlockBody body = nullptr;
   void* user = nullptr;
   /// Span id of the enclosing launch when tracing (0 = tracing off).
@@ -149,6 +152,21 @@ class ExecutionEngine {
 
   [[nodiscard]] HazardMode default_hazards() const noexcept;
   void set_default_hazards(HazardMode mode) noexcept;
+
+  /// Vectorized lane fast path for non-instrumented blocks (on by
+  /// default; --vector off forces the scalar raw twins — same outputs,
+  /// bit-identical, just slower). Orthogonal to InstrumentMode: it only
+  /// ever applies to blocks that record nothing.
+  [[nodiscard]] bool vector_enabled() const noexcept;
+  void set_vector_enabled(bool on) noexcept;
+
+  /// True iff a launch issued right now with no per-launch overrides would
+  /// run functional_only with no hazard checking, no active fault plan,
+  /// and the vector path on — i.e. a kernel may replace its launches with
+  /// one grid-wide vectorized sweep (plus empty-bodied launches to keep
+  /// the launch accounting identical). Kernel-side conditions (no guard
+  /// spans) are the caller's to check.
+  [[nodiscard]] bool functional_fast_path() const noexcept;
 
   /// Approximate number of blocks the sampled mode instruments per launch
   /// (first/last/stride plan; small grids degenerate to exact coverage).
@@ -214,6 +232,21 @@ class ScopedInstrumentMode {
   InstrumentMode prev_;
 };
 
+/// RAII override of the vectorized-lane fast path (tests, benches).
+class ScopedVectorMode {
+ public:
+  explicit ScopedVectorMode(bool on)
+      : prev_(ExecutionEngine::instance().vector_enabled()) {
+    ExecutionEngine::instance().set_vector_enabled(on);
+  }
+  ~ScopedVectorMode() { ExecutionEngine::instance().set_vector_enabled(prev_); }
+  ScopedVectorMode(const ScopedVectorMode&) = delete;
+  ScopedVectorMode& operator=(const ScopedVectorMode&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// RAII override of the default hazard-detection mode.
 class ScopedHazardMode {
  public:
@@ -246,7 +279,7 @@ class ScopedFaultPlan {
   FaultPlan prev_;
 };
 
-/// Apply --sim-threads / --instrument / --check-hazards plus the fault
+/// Apply --sim-threads / --instrument / --check-hazards / --vector plus the fault
 /// and resilience flags (--fault-seed / --fault-rate / --fault-kinds /
 /// --deadline-us / --max-retries) to the engine when present. Benches
 /// call this once after parsing; flags come from util::with_obs_flags.

@@ -21,8 +21,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "tridiag/layout.hpp"
 #include "tridiag/types.hpp"
 
 namespace tridsolve::tridiag {
@@ -109,6 +112,153 @@ class ThomasPlan {
   std::vector<T> cprime_;  ///< forward-reduced super-diagonal
   std::vector<T> inv_;     ///< pivot reciprocals
   SolveStatus status_;
+};
+
+/// Factor-once / solve-many plan for a whole SystemBatch.
+///
+/// The factored arrays (a, c', inv) are stored with the *same* index
+/// mapping as the source batch, so an interleaved batch gets
+/// lane-contiguous plans: solve()'s inner loops then run over systems at
+/// stride 1 and auto-vectorize, while each lane's arithmetic stays the
+/// exact ThomasPlan recurrence — per-system results are pinned bitwise
+/// identical to factoring/solving that system through ThomasPlan alone
+/// (lanes are independent, so cross-lane evaluation order is free).
+///
+/// Factoring failures are per system: statuses()[m] reports system m, the
+/// failed lane's plan rows are zero-filled (its solve output is zeros),
+/// and the healthy lanes stay fully usable. Counters
+/// `tridiag.plan.batch_factors` / `tridiag.plan.batch_solves` record plan
+/// reuse (a steady-state time-stepping loop shows factors flat while
+/// solves climb).
+template <typename T>
+class BatchThomasPlan {
+ public:
+  BatchThomasPlan() = default;
+
+  /// Factor every system of `batch` (a, b, c; d is ignored).
+  explicit BatchThomasPlan(const SystemBatch<T>& batch) { factor(batch); }
+
+  void factor(const SystemBatch<T>& batch) {
+    static const auto factors = obs::counter_handle("tridiag.plan.batch_factors");
+    factors.add();
+    m_ = batch.num_systems();
+    n_ = batch.system_size();
+    layout_ = batch.layout();
+    a_.assign(m_ * n_, T(0));
+    cprime_.assign(m_ * n_, T(0));
+    inv_.assign(m_ * n_, T(0));
+    statuses_.assign(m_, SolveStatus{});
+    for (std::size_t m = 0; m < m_; ++m) {
+      const auto sys = batch.system(m);
+      T cp = T(0);
+      double growth = 1.0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        const T denom = sys.b[i] - cp * sys.a[i];
+        if (!(denom != T(0)) || !std::isfinite(static_cast<double>(denom))) {
+          statuses_[m] = {SolveCode::zero_pivot, i, growth};
+          // Zero out the partial rows so the batched sweeps stay finite.
+          for (std::size_t j = 0; j < i; ++j) {
+            const std::size_t idx = index(m, j);
+            a_[idx] = cprime_[idx] = inv_[idx] = T(0);
+          }
+          break;
+        }
+        const double scale =
+            std::max({std::abs(static_cast<double>(sys.a[i])),
+                      std::abs(static_cast<double>(sys.b[i])),
+                      std::abs(static_cast<double>(sys.c[i]))});
+        const double ratio = scale / std::abs(static_cast<double>(denom));
+        if (ratio > growth) growth = ratio;
+        const T inv = T(1) / denom;
+        cp = sys.c[i] * inv;
+        const std::size_t idx = index(m, i);
+        a_[idx] = sys.a[i];
+        cprime_[idx] = cp;
+        inv_[idx] = inv;
+        if (i + 1 == n_) statuses_[m].pivot_growth = growth;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_systems() const noexcept { return m_; }
+  [[nodiscard]] std::size_t system_size() const noexcept { return n_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] std::size_t index(std::size_t m, std::size_t i) const noexcept {
+    return layout_ == Layout::contiguous ? m * n_ + i : i * m_ + m;
+  }
+
+  [[nodiscard]] const std::vector<SolveStatus>& statuses() const noexcept {
+    return statuses_;
+  }
+  /// True iff every system factored cleanly.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const auto& st : statuses_) {
+      if (!st.ok()) return false;
+    }
+    return true;
+  }
+
+  /// Solve every system against flat right-hand sides `d` (plan's layout);
+  /// `x` may alias `d`. Division-free. Failed lanes produce zeros; the
+  /// return value is the first failed system's status ({} when all ok).
+  SolveStatus solve(std::span<const T> d, std::span<T> x) const {
+    static const auto solves = obs::counter_handle("tridiag.plan.batch_solves");
+    if (d.size() < m_ * n_ || x.size() < m_ * n_) {
+      return {SolveCode::bad_size, 0};
+    }
+    solves.add();
+    if (m_ == 0 || n_ == 0) return first_failure();
+    if (layout_ == Layout::interleaved) {
+      // Lane-contiguous sweeps: rows outer, systems inner (stride 1).
+      std::vector<T> dp(m_, T(0));
+      const T* __restrict dv = d.data();
+      T* __restrict xv = x.data();
+      const T* __restrict av = a_.data();
+      const T* __restrict iv = inv_.data();
+      const T* __restrict cv = cprime_.data();
+      T* __restrict carry = dp.data();
+      for (std::size_t i = 0; i < n_; ++i) {
+        const std::size_t row = i * m_;
+        for (std::size_t m = 0; m < m_; ++m) {
+          const T v = (dv[row + m] - carry[m] * av[row + m]) * iv[row + m];
+          carry[m] = v;
+          xv[row + m] = v;
+        }
+      }
+      for (std::size_t i = n_ - 1; i-- > 0;) {
+        const std::size_t row = i * m_;
+        for (std::size_t m = 0; m < m_; ++m) {
+          xv[row + m] = xv[row + m] - cv[row + m] * xv[row + m + m_];
+        }
+      }
+    } else {
+      for (std::size_t m = 0; m < m_; ++m) {
+        const std::size_t base = m * n_;
+        T dp = T(0);
+        for (std::size_t i = 0; i < n_; ++i) {
+          dp = (d[base + i] - dp * a_[base + i]) * inv_[base + i];
+          x[base + i] = dp;
+        }
+        for (std::size_t i = n_ - 1; i-- > 0;) {
+          x[base + i] = x[base + i] - cprime_[base + i] * x[base + i + 1];
+        }
+      }
+    }
+    return first_failure();
+  }
+
+ private:
+  [[nodiscard]] SolveStatus first_failure() const noexcept {
+    for (const auto& st : statuses_) {
+      if (!st.ok()) return st;
+    }
+    return {};
+  }
+
+  std::vector<T> a_, cprime_, inv_;  ///< batch-layout factored arrays
+  std::vector<SolveStatus> statuses_;
+  std::size_t m_ = 0, n_ = 0;
+  Layout layout_ = Layout::contiguous;
 };
 
 }  // namespace tridsolve::tridiag

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apps/adi.hpp"
+#include "obs/metrics.hpp"
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpusim/device_spec.hpp"
 
@@ -148,4 +149,57 @@ TEST(AdiIntegrator, FloatPath) {
     EXPECT_GT(v, 0.0f);
     EXPECT_LT(v, 1.0f);  // diffusion with zero boundaries shrinks everything
   }
+}
+
+TEST(AdiIntegrator, PlanReuseMatchesGpuPathClosely) {
+  const std::size_t nx = 48, ny = 32;
+  apps::AdiOptions gpu_opts;
+  gpu_opts.r = 0.35;
+  apps::AdiOptions plan_opts = gpu_opts;
+  plan_opts.reuse_plans = true;
+
+  apps::AdiIntegrator<double> gpu_adi(gs::gtx480(), nx, ny, gpu_opts);
+  apps::AdiIntegrator<double> plan_adi(gs::gtx480(), nx, ny, plan_opts);
+
+  auto u_gpu = sine_mode(nx, ny);
+  auto u_plan = u_gpu;
+  for (int s = 0; s < 3; ++s) {
+    gpu_adi.step(u_gpu);
+    plan_adi.step(u_plan);
+  }
+  // Same splitting, different elimination order (plan sweeps are pure
+  // Thomas; the hybrid may run PCR steps first): agreement to rounding.
+  for (std::size_t i = 0; i < u_gpu.size(); ++i) {
+    ASSERT_NEAR(u_plan[i], u_gpu[i], 1e-11) << i;
+  }
+}
+
+TEST(AdiIntegrator, PlanReuseFactorsOnceAndReportsHostSweeps) {
+  auto& registry = tridsolve::obs::MetricsRegistry::instance();
+  apps::AdiOptions opts;
+  opts.reuse_plans = true;
+  apps::AdiIntegrator<double> adi(gs::gtx480(), 32, 32, opts);
+
+  auto u = sine_mode(32, 32);
+  const double factors0 = registry.counter("tridiag.plan.batch_factors");
+  const double solves0 = registry.counter("tridiag.plan.batch_solves");
+  const auto rep = adi.step(u);
+  // First step factors both sweep matrices; sweeps appear as host-side
+  // timeline segments alongside the two device transposes.
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_factors"), factors0 + 2);
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_solves"), solves0 + 2);
+  std::size_t plan_segments = 0;
+  for (const auto& seg : rep.timeline.segments()) {
+    if (seg.label == "sweep-x:plan" || seg.label == "sweep-y:plan") {
+      ++plan_segments;
+    }
+  }
+  EXPECT_EQ(plan_segments, 2u);
+  EXPECT_GT(rep.transpose_us(), 0.0);
+
+  for (int s = 0; s < 3; ++s) adi.step(u);
+  // Later steps reuse the cached factorizations: factors flat, solves
+  // climbing two per step.
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_factors"), factors0 + 2);
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_solves"), solves0 + 8);
 }

@@ -122,6 +122,11 @@ std::map<std::string, double> strategy_invariant_metric_delta(
   for (const auto& [name, value] : reg.counters()) {
     if (name.size() >= 7 && name.rfind("time_us") == name.size() - 7) continue;
     if (name.rfind("gpusim.sampling.", 0) == 0) continue;
+    // Pooled-scratch and vectorized-twin tallies are execution-strategy
+    // telemetry: they vary with worker count and instrument mode by design
+    // (more workers -> more pool warm-ups; exact mode takes no twin).
+    if (name.rfind("gpusim.scratch.", 0) == 0) continue;
+    if (name.rfind("gpusim.vector.", 0) == 0) continue;
     if (value != 0.0) delta[name] = value;
   }
   return delta;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 #include "tridiag/residual.hpp"
 #include "tridiag/thomas.hpp"
@@ -124,4 +127,110 @@ TEST(ThomasPlan, EmptyPlanIsHarmless) {
   EXPECT_TRUE(plan.solve(td::StridedView<const double>(nullptr, 0, 1),
                          td::StridedView<double>(nullptr, 0, 1))
                   .ok());
+}
+
+// ---------------------------------------------------------------------
+// BatchThomasPlan: whole-batch factor-once / solve-many.
+
+TEST(BatchThomasPlan, MatchesPerSystemThomasPlanBitwise) {
+  for (const auto layout : {td::Layout::interleaved, td::Layout::contiguous}) {
+    const auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 33,
+                                              97, layout, /*seed=*/21);
+    td::BatchThomasPlan<double> plan(batch);
+    ASSERT_TRUE(plan.ok());
+
+    std::vector<double> x(batch.total_rows());
+    ASSERT_TRUE(plan.solve(batch.d(), x).ok());
+
+    for (std::size_t m = 0; m < batch.num_systems(); ++m) {
+      const auto sys = batch.system(m);
+      const td::ThomasPlan<double> single(td::as_const(sys));
+      ASSERT_TRUE(single.ok()) << m;
+      std::vector<double> xs(batch.system_size());
+      ASSERT_TRUE(single
+                      .solve(td::as_const(sys).d,
+                             td::StridedView<double>(xs.data(), xs.size(), 1))
+                      .ok());
+      // Same per-lane arithmetic in the same order: bitwise identical.
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_EQ(x[plan.index(m, i)], xs[i])
+            << td::layout_name(layout) << " system " << m << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchThomasPlan, SolveMayAliasRhsAndReusesOneFactorization) {
+  const auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 16, 64,
+                                            td::Layout::interleaved, 22);
+  const td::BatchThomasPlan<double> plan(batch);
+  ASSERT_TRUE(plan.ok());
+
+  std::vector<double> expected(batch.total_rows());
+  ASSERT_TRUE(plan.solve(batch.d(), expected).ok());
+
+  // In place over a mutable copy, twice, against the same factorization.
+  auto work = batch.clone();
+  ASSERT_TRUE(plan.solve(work.d(), work.d()).ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(work.d()[i], expected[i]) << i;
+  }
+  std::copy(batch.d().begin(), batch.d().end(), work.d().begin());
+  ASSERT_TRUE(plan.solve(work.d(), work.d()).ok());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(work.d()[i], expected[i]) << i;
+  }
+}
+
+TEST(BatchThomasPlan, SingularLaneIsIsolated) {
+  auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 5, 40,
+                                      td::Layout::interleaved, 23);
+  batch.b()[batch.index(2, 0)] = 0.0;  // break system 2 at its first pivot
+  const td::BatchThomasPlan<double> plan(batch);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.statuses()[2].code, td::SolveCode::zero_pivot);
+  EXPECT_EQ(plan.statuses()[2].index, 0u);
+
+  std::vector<double> x(batch.total_rows(), -1.0);
+  const auto st = plan.solve(batch.d(), x);
+  EXPECT_EQ(st.code, td::SolveCode::zero_pivot);
+
+  for (std::size_t m = 0; m < 5; ++m) {
+    if (m == 2) {
+      // The broken lane yields zeros (its plan rows were zero-filled)...
+      for (std::size_t i = 0; i < 40; ++i) {
+        EXPECT_EQ(x[plan.index(m, i)], 0.0) << i;
+      }
+      continue;
+    }
+    // ...while healthy lanes match their standalone plans bitwise.
+    EXPECT_TRUE(plan.statuses()[m].ok()) << m;
+    const auto sys = batch.system(m);
+    const td::ThomasPlan<double> single(td::as_const(sys));
+    std::vector<double> xs(40);
+    ASSERT_TRUE(single
+                    .solve(td::as_const(sys).d,
+                           td::StridedView<double>(xs.data(), 40, 1))
+                    .ok());
+    for (std::size_t i = 0; i < 40; ++i) {
+      EXPECT_EQ(x[plan.index(m, i)], xs[i]) << m << "," << i;
+    }
+  }
+}
+
+TEST(BatchThomasPlan, RejectsShortSpansAndCountsReuse) {
+  const auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 4, 16,
+                                            td::Layout::contiguous, 24);
+  const td::BatchThomasPlan<double> plan(batch);
+  std::vector<double> x(batch.total_rows() - 1);
+  EXPECT_EQ(plan.solve(batch.d(), x).code, td::SolveCode::bad_size);
+
+  auto& registry = tridsolve::obs::MetricsRegistry::instance();
+  const double factors = registry.counter("tridiag.plan.batch_factors");
+  const double solves = registry.counter("tridiag.plan.batch_solves");
+  x.resize(batch.total_rows());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(plan.solve(batch.d(), x).ok());
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_factors"), factors)
+      << "solves must not refactor";
+  EXPECT_EQ(registry.counter("tridiag.plan.batch_solves"), solves + 3);
 }

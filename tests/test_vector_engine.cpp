@@ -1,0 +1,242 @@
+// Vectorized functional fast path: registry-wide bit-identity of the
+// lane-vectorized twins against the scalar twins, the fallback rules
+// (guards / faults / hazards force scalar), pooled-scratch steady state
+// (zero allocations once warm), and the LanePool itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "gpu_solvers/registry.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/exec_engine.hpp"
+#include "gpusim/fault_injector.hpp"
+#include "gpusim/vector_engine.hpp"
+#include "obs/metrics.hpp"
+#include "workloads/generators.hpp"
+
+namespace gs = tridsolve::gpusim;
+namespace gpu = tridsolve::gpu;
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+
+namespace {
+
+double counter(const char* name) {
+  return tridsolve::obs::MetricsRegistry::instance().counter(name);
+}
+
+/// Solve `batch` functionally with the vector path on/off; returns the
+/// solved copy (or nullopt-equivalent empty batch when unsupported).
+template <typename T>
+bool solve_functional(gpu::SolverKind kind, const td::SystemBatch<T>& batch,
+                      bool vector, td::SystemBatch<T>& solution) {
+  const auto dev = gs::gtx480();
+  const gs::ScopedVectorMode vec(vector);
+  gpu::SolverRunOptions opts;
+  opts.instrument = gs::InstrumentMode::functional_only;
+  (void)gpu::run_solver<T>(kind, dev, batch, opts, &solution);
+  // functional_only runs report supported == false (no timing) but still
+  // hand out their solution; a real configuration rejection leaves
+  // `solution` untouched.
+  return solution.total_rows() == batch.total_rows();
+}
+
+template <typename T>
+void expect_bitwise(const td::SystemBatch<T>& a, const td::SystemBatch<T>& b,
+                    const char* what) {
+  ASSERT_EQ(a.total_rows(), b.total_rows()) << what;
+  for (std::size_t i = 0; i < a.total_rows(); ++i) {
+    T x = a.d()[i], y = b.d()[i];
+    std::uint64_t xb = 0, yb = 0;
+    std::memcpy(&xb, &x, sizeof(T));
+    std::memcpy(&yb, &y, sizeof(T));
+    EXPECT_EQ(xb, yb) << what << " row " << i;
+  }
+}
+
+}  // namespace
+
+// Every solver kind, both layouts, shapes chosen to stress the lane
+// blocking: odd N, N not divisible by any SIMD width, and M = 1 (a
+// single lane — no cross-system vectorization possible).
+TEST(VectorEngine, RegistryWideBitIdentityVectorOnVsOff) {
+  struct Shape {
+    std::size_t m, n;
+  };
+  const Shape shapes[] = {{96, 257}, {64, 130}, {1, 301}};
+  for (const auto kind : gpu::all_solver_kinds()) {
+    for (const auto layout :
+         {td::Layout::interleaved, td::Layout::contiguous}) {
+      for (const auto& s : shapes) {
+        const auto batch = wl::make_batch<double>(
+            wl::Kind::random_dominant, s.m, s.n, layout, /*seed=*/7);
+        td::SystemBatch<double> with_vec, without_vec;
+        const bool ok_on =
+            solve_functional(kind, batch, /*vector=*/true, with_vec);
+        const bool ok_off =
+            solve_functional(kind, batch, /*vector=*/false, without_vec);
+        ASSERT_EQ(ok_on, ok_off)
+            << gpu::solver_name(kind) << " applicability changed with --vector";
+        if (!ok_on) continue;  // kind rejects this shape (e.g. in-shared cap)
+        std::string what = std::string(gpu::solver_name(kind)) + " " +
+                           td::layout_name(layout) + " M=" +
+                           std::to_string(s.m) + " N=" + std::to_string(s.n);
+        expect_bitwise(with_vec, without_vec, what.c_str());
+      }
+    }
+  }
+}
+
+TEST(VectorEngine, FloatPathBitIdentical) {
+  const auto batch = wl::make_batch<float>(wl::Kind::random_dominant, 48, 203,
+                                           td::Layout::interleaved, /*seed=*/9);
+  td::SystemBatch<float> with_vec, without_vec;
+  ASSERT_TRUE(solve_functional(gpu::SolverKind::hybrid, batch, true, with_vec));
+  ASSERT_TRUE(
+      solve_functional(gpu::SolverKind::hybrid, batch, false, without_vec));
+  ASSERT_EQ(with_vec.total_rows(), without_vec.total_rows());
+  for (std::size_t i = 0; i < with_vec.total_rows(); ++i) {
+    std::uint32_t xb = 0, yb = 0;
+    std::memcpy(&xb, &with_vec.d()[i], sizeof(float));
+    std::memcpy(&yb, &without_vec.d()[i], sizeof(float));
+    EXPECT_EQ(xb, yb) << i;
+  }
+}
+
+// Guards, hazard detection, and fault injection must each force the
+// scalar twin: the vectorized paths skip per-access bookkeeping, so any
+// observing mode would silently lose its observations.
+TEST(VectorEngine, GuardsFaultsAndHazardsForceScalarFallback) {
+  const auto dev = gs::gtx480();
+  const auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 64, 128,
+                                            td::Layout::interleaved, 11);
+  td::SystemBatch<double> solution;
+  gpu::SolverRunOptions functional;
+  functional.instrument = gs::InstrumentMode::functional_only;
+
+  // Baseline: the plain functional run takes the vector path.
+  double plain_delta = 0.0;
+  {
+    const double before = counter("gpusim.vector.blocks");
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch,
+                                  functional, &solution);
+    plain_delta = counter("gpusim.vector.blocks") - before;
+    EXPECT_GT(plain_delta, 0.0) << "plain functional run should vectorize";
+  }
+
+  // Guarded run: pivot guards need the per-row divisor observations, so
+  // every *guarded* sweep (the eliminations) must take the scalar twin.
+  // The backward substitution performs no divisions and records nothing a
+  // guard could want, so it legitimately stays vectorized — the delta
+  // must drop strictly below the unguarded run's.
+  {
+    auto opts = functional;
+    opts.guard = true;
+    const double before = counter("gpusim.vector.blocks");
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch, opts,
+                                  &solution);
+    EXPECT_LT(counter("gpusim.vector.blocks") - before, plain_delta)
+        << "guarded run must drop every guarded sweep to the scalar twin";
+  }
+
+  // Hazard detection: needs per-access shared-memory tracking.
+  {
+    auto opts = functional;
+    opts.hazards = gs::HazardMode::detect;
+    const double before = counter("gpusim.vector.blocks");
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch, opts,
+                                  &solution);
+    EXPECT_EQ(counter("gpusim.vector.blocks"), before)
+        << "hazard-checked run must stay scalar";
+  }
+
+  // Active fault plan: victim sites are per-access, so the vectorized
+  // sweep would never see its faults.
+  {
+    gs::FaultPlan plan;
+    plan.seed = 1;
+    plan.rate = 1e-9;  // active, but virtually never fires
+    const gs::ScopedFaultPlan fault(plan);
+    const double before = counter("gpusim.vector.blocks");
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch,
+                                  functional, &solution);
+    EXPECT_EQ(counter("gpusim.vector.blocks"), before)
+        << "fault-injected run must stay scalar";
+  }
+}
+
+// Steady-state functional solves must perform zero pool growth: after a
+// warm-up solve, repeated solves of the same shape serve every lane
+// carry from the warm arena (reuses climb, acquires stay flat).
+TEST(VectorEngine, PooledScratchZeroAllocSteadyState) {
+  const auto dev = gs::gtx480();
+  const auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 128, 256,
+                                            td::Layout::interleaved, 13);
+  td::SystemBatch<double> solution;
+  gpu::SolverRunOptions functional;
+  functional.instrument = gs::InstrumentMode::functional_only;
+
+  // Two warm-up solves: the first sizes the arenas (spill growth), the
+  // second consolidates them (one growth per pool) — from then on every
+  // take is served warm.
+  for (int i = 0; i < 2; ++i) {
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch,
+                                  functional, &solution);
+  }
+  const double acquires = counter("gpusim.scratch.acquires");
+  const double reuses = counter("gpusim.scratch.reuses");
+  for (int i = 0; i < 3; ++i) {
+    (void)gpu::run_solver<double>(gpu::SolverKind::hybrid, dev, batch,
+                                  functional, &solution);
+  }
+  EXPECT_EQ(counter("gpusim.scratch.acquires"), acquires)
+      << "steady-state solves must not grow the lane pools";
+  EXPECT_GT(counter("gpusim.scratch.reuses"), reuses)
+      << "steady-state solves must serve from the warm arenas";
+}
+
+TEST(VectorEngine, LanePoolConsolidatesAndZeroInitializes) {
+  gs::LanePool pool;
+  pool.begin_block();
+  auto first = pool.take<double>(100);
+  ASSERT_EQ(first.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first.data()) % 64, 0u);
+  for (double v : first) EXPECT_EQ(v, 0.0);
+  first[0] = 42.0;
+  auto second = pool.take<double>(50);  // spill chunk; first stays valid
+  EXPECT_EQ(first[0], 42.0);
+  for (double v : second) EXPECT_EQ(v, 0.0);
+
+  std::size_t acquires = 0, reuses = 0;
+  pool.drain(acquires, reuses);
+  EXPECT_GT(acquires, 0u);
+
+  // Next block consolidates: the same demand is now served warm.
+  pool.begin_block();
+  (void)pool.take<double>(100);
+  (void)pool.take<double>(50);
+  acquires = reuses = 0;
+  pool.drain(acquires, reuses);
+  EXPECT_EQ(acquires, 1u) << "one consolidation growth, then warm";
+  EXPECT_EQ(reuses, 2u) << "both takes served from the consolidated arena";
+  pool.begin_block();
+  (void)pool.take<double>(100);
+  (void)pool.take<double>(50);
+  acquires = reuses = 0;
+  pool.drain(acquires, reuses);
+  EXPECT_EQ(acquires, 0u) << "steady state: zero allocations";
+  EXPECT_EQ(reuses, 2u);
+}
+
+TEST(VectorEngine, LaneTilePowerOfTwoAndBudgetBound) {
+  const std::size_t w = gs::lane_tile(512, sizeof(double));
+  EXPECT_EQ(w & (w - 1), 0u);
+  EXPECT_GE(w, 64u);
+  EXPECT_LE(2 * 512 * sizeof(double) * w, std::size_t{128} << 20);
+  // Tiny rows hit the upper clamp; huge rows the lower one.
+  EXPECT_EQ(gs::lane_tile(1, 1), std::size_t{1} << 20);
+  EXPECT_EQ(gs::lane_tile(std::size_t{1} << 22, sizeof(double)), 64u);
+}
