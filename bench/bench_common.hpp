@@ -13,6 +13,7 @@
 
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/plan_cache.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/exec_engine.hpp"
@@ -140,8 +141,9 @@ class Telemetry {
         last_record_(std::chrono::steady_clock::now()) {
     // Every bench funnels through here, so this is the one place the
     // shared --sim-threads / --instrument / --check-hazards flags reach
-    // the engine.
+    // the engine, and --plan-file / --autotune reach the plan cache.
     gpusim::configure_engine_from_cli(cli);
+    gpu::configure_plan_cache_from_cli(cli);
     hazard_mode_ = gpusim::ExecutionEngine::instance().default_hazards();
     if (hazard_mode_ != gpusim::HazardMode::off) {
       for (auto& c : hazard_counters_) {
@@ -261,6 +263,14 @@ class Telemetry {
     if (!enabled()) return;
     extra["k"] = report.k;
     extra["variant"] = gpu::window_variant_name(report.variant);
+    // Per-solve plan provenance (the transition.* gauges are only
+    // most-recent; this is the record of truth). All-or-nothing group,
+    // schema-checked by tools/validate_telemetry.
+    extra["plan_source"] = gpu::plan_source_name(report.plan_source);
+    extra["plan_cached"] = report.plan_cached ? 1 : 0;
+    extra["plan_k"] = report.k;
+    extra["plan_variant"] = gpu::window_variant_name(report.variant);
+    extra["plan_c"] = report.plan_c;
     extra["reduced_systems"] = report.reduced_systems;
     extra["redundant_loads"] = report.redundant_loads;
     extra["pcr_us"] = report.pcr_us();

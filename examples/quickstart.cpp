@@ -24,13 +24,20 @@
 //   --deadline-us/--max-retries
 //                          resilient-pipeline budget knobs (also switch
 //                          the solve onto the resilient pipeline)
+//   --force-k K            pin the hybrid's PCR transition point; values
+//                          out of range for the shape (2^k > N) are a
+//                          structured bad-argument error (exit 2)
+//   --plan-file/--autotune plan-cache knobs (see DESIGN.md "Plan cache &
+//                          autotuning")
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "cpu_baselines/mkl_like.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/plan_cache.hpp"
 #include "gpu_solvers/registry.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/exec_engine.hpp"
@@ -48,13 +55,17 @@
 using namespace tridsolve;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(
-      argc, argv, util::with_obs_flags({"n", "trace", "break-row", "refine"}));
+  const util::Cli cli(argc, argv,
+                      util::with_obs_flags(
+                          {"n", "trace", "break-row", "refine", "force-k"}));
   // --sim-threads / --instrument / --check-hazards
   gpusim::configure_engine_from_cli(cli);
+  // --plan-file / --autotune
+  gpu::configure_plan_cache_from_cli(cli);
   const std::size_t n = static_cast<std::size_t>(cli.get_int("n", 1000));
   const long break_row = cli.get_int("break-row", -1);
   const bool refine = cli.get_bool("refine", false);
+  const int force_k = static_cast<int>(cli.get_int("force-k", -1));
 
   // A diagonally dominant random system A x = d.
   util::Xoshiro256 rng(2026);
@@ -118,6 +129,7 @@ int main(int argc, char** argv) {
   if (resilient_mode) {
     gpu::SolverRunOptions ropts;
     ropts.guard = true;
+    ropts.force_k = force_k;
     tridiag::SystemBatch<double> solved;
     resil = gpu::run_solver_resilient<double>(
         gpu::SolverKind::hybrid, dev, batch, ropts,
@@ -125,11 +137,21 @@ int main(int argc, char** argv) {
     batch = std::move(solved);  // recovered solutions (or pristine d)
   } else {
     gpu::HybridOptions hopts;
+    hopts.force_k = force_k;
     // Guard detection is always on (it is free); recovery is armed when a
     // breakdown is being demonstrated or refinement was requested.
     hopts.guard.fallback = break_row >= 0 || refine;
     hopts.guard.refine = refine;
-    report = gpu::hybrid_solve(dev, batch, hopts);
+    try {
+      report = gpu::hybrid_solve(dev, batch, hopts);
+    } catch (const std::invalid_argument& e) {
+      // A forced k out of range for the shape: structured rejection, the
+      // same condition run_solver reports as bad_argument.
+      std::fprintf(stderr, "quickstart: %s: %s\n",
+                   tridiag::solve_code_name(tridiag::SolveCode::bad_argument),
+                   e.what());
+      return 2;
+    }
   }
 
   // Residuals against the original system.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "gpu_solvers/autotune.hpp"
+#include "gpu_solvers/plan_cache.hpp"
 #include "gpu_solvers/pthomas_kernel.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "obs/metrics.hpp"
@@ -21,17 +23,37 @@ const char* window_variant_name(WindowVariant v) noexcept {
   return "unknown";
 }
 
+std::optional<WindowVariant> window_variant_from_name(
+    std::string_view name) noexcept {
+  if (name == "auto") return WindowVariant::auto_select;
+  if (name == "one_block_per_system") return WindowVariant::one_block_per_system;
+  if (name == "split_system") return WindowVariant::split_system;
+  if (name == "multi_system_per_block") {
+    return WindowVariant::multi_system_per_block;
+  }
+  return std::nullopt;
+}
+
+const char* plan_source_name(PlanSource s) noexcept {
+  switch (s) {
+    case PlanSource::heuristic: return "heuristic";
+    case PlanSource::cost_model: return "cost_model";
+    case PlanSource::forced: return "forced";
+    case PlanSource::calibrated: return "calibrated";
+    case PlanSource::autotuned: return "autotuned";
+  }
+  return "unknown";
+}
+
 namespace {
 
-template <typename T>
-WindowVariant pick_variant(const gpusim::DeviceSpec& dev,
-                           const tridiag::SystemBatch<T>& batch) {
-  // Few systems: not enough whole-system windows to fill the device, so
-  // split each system across a block group (Fig. 11(b)). Otherwise one
-  // window per block is already plenty of blocks.
-  return batch.num_systems() < static_cast<std::size_t>(2 * dev.num_sms)
-             ? WindowVariant::split_system
-             : WindowVariant::one_block_per_system;
+/// A request the autotuner may answer: nothing pinned by the caller, so
+/// swapping the plan is legal and the calibration-file key matches.
+bool is_tunable_request(const HybridOptions& opts) noexcept {
+  return opts.force_k < 0 && !opts.use_cost_model &&
+         opts.variant == WindowVariant::auto_select && opts.sub_tile_c <= 1 &&
+         opts.blocks_per_system == 0 && opts.systems_per_block == 0 &&
+         !opts.fuse && opts.pthomas_block_threads == 128;
 }
 
 /// Views of the 2^k interleaved reduced systems inside `batch`-shaped
@@ -93,6 +115,10 @@ struct HybridMetrics {
       obs::counter_handle("transition.source.model");
   obs::MetricsRegistry::Counter source_heuristic =
       obs::counter_handle("transition.source.heuristic");
+  obs::MetricsRegistry::Counter source_calibrated =
+      obs::counter_handle("transition.source.calibrated");
+  obs::MetricsRegistry::Counter source_autotuned =
+      obs::counter_handle("transition.source.autotuned");
   obs::MetricsRegistry::Counter pcr_windows =
       obs::counter_handle("pcr.windows");
   obs::MetricsRegistry::Counter pcr_boundaries =
@@ -151,57 +177,63 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
   const obs::ScopedTimer host_timer(metrics.solve_time_us, metrics.solve_calls);
   metrics.solves.add();
 
+  // --- 1. plan (transition point, variant, geometry) — cache-mediated ------
+  // A forced k out of range for (N, device) makes plan_hybrid throw
+  // std::invalid_argument here, before any guard snapshot or launch.
+  const PlanKey plan_key = make_plan_key(dev, m_count, n, sizeof(T), opts);
+  const PlanCache::Result planned =
+      PlanCache::instance().plan(plan_key, [&]() -> SolvePlan {
+        if (!PlanCache::ScopedBypass::active() &&
+            PlanCache::instance().autotune_enabled() &&
+            is_tunable_request(opts)) {
+          // Online autotune: first sight of this shape pays one candidate
+          // sweep; every later solve hits the cached winner.
+          return autotune_cell<T>(dev, m_count, n).best;
+        }
+        return plan_hybrid(dev, m_count, n, sizeof(T), opts);
+      });
+  const SolvePlan& plan = planned.plan;
+  const unsigned k = plan.k;
+  switch (plan.source) {
+    case PlanSource::forced: metrics.source_forced.add(); break;
+    case PlanSource::cost_model: metrics.source_model.add(); break;
+    case PlanSource::heuristic: metrics.source_heuristic.add(); break;
+    case PlanSource::calibrated: metrics.source_calibrated.add(); break;
+    case PlanSource::autotuned: metrics.source_autotuned.add(); break;
+  }
+  report.k = k;
+  report.plan_source = plan.source;
+  report.plan_cached = planned.hit;
+  report.plan_c = plan.c;
+  // Most-recent-planning-event gauge only — see transition.hpp; the
+  // per-solve truth is HybridReport / the plan_* JSONL block.
+  obs::gauge("transition.k", k);
+
   const GuardPolicy& guard = opts.guard;
   if (guard.detect) report.status.resize(m_count);
   // LU fallback needs the untouched inputs; the solve below consumes them.
   std::optional<tridiag::SystemBatch<T>> pristine;
   if (guard.detect && guard.fallback) pristine.emplace(batch.clone());
 
-  // --- 1. transition point -------------------------------------------------
-  unsigned k;
-  if (opts.force_k >= 0) {
-    k = static_cast<unsigned>(opts.force_k);
-    metrics.source_forced.add();
-  } else if (opts.use_cost_model) {
-    k = model_best_k(m_count, n, dev);
-    metrics.source_model.add();
-  } else {
-    k = heuristic_k(m_count, n);
-    metrics.source_heuristic.add();
-  }
-  report.k = k;
-  obs::gauge("transition.k", k);
-
   // --- 2. tiled PCR ---------------------------------------------------------
   std::optional<tridiag::SystemBatch<T>> scratch;  // split-system double buffer
   tridiag::SystemBatch<T>* reduced = &batch;
 
   if (k >= 1) {
+    // Everything below comes from the plan, never recomputed: a cache hit
+    // therefore executes bit-identically to the cold solve that planned.
     TiledPcrConfig cfg;
     cfg.k = k;
-    cfg.c = std::max<std::size_t>(1, opts.sub_tile_c);
+    cfg.c = plan.c;
+    cfg.systems_per_block = plan.systems_per_block;
     cfg.fuse_thomas_forward = opts.fuse;
 
-    WindowVariant variant = opts.variant == WindowVariant::auto_select
-                                ? pick_variant(dev, batch)
-                                : opts.variant;
-    if (opts.fuse && variant == WindowVariant::split_system) {
-      variant = WindowVariant::one_block_per_system;  // fusion needs whole systems
-    }
+    const WindowVariant variant = plan.variant;
     report.variant = variant;
 
     std::vector<TiledPcrWork<T>> work;
     if (variant == WindowVariant::split_system) {
-      std::size_t regions = opts.blocks_per_system;
-      if (regions == 0) {
-        const std::size_t sub_tile = cfg.c << k;
-        const std::size_t target_blocks =
-            static_cast<std::size_t>(4 * dev.num_sms);
-        const std::size_t max_regions =
-            std::max<std::size_t>(1, n / std::max<std::size_t>(1, 4 * sub_tile));
-        regions = std::clamp<std::size_t>(
-            (target_blocks + m_count - 1) / m_count, 1, max_regions);
-      }
+      const std::size_t regions = plan.blocks_per_system;
       scratch.emplace(m_count, n, batch.layout());
       reduced = &*scratch;
       for (std::size_t m = 0; m < m_count; ++m) {
@@ -215,11 +247,6 @@ HybridReport hybrid_solve(const gpusim::DeviceSpec& dev,
         }
       }
     } else {
-      if (variant == WindowVariant::multi_system_per_block) {
-        cfg.systems_per_block = opts.systems_per_block == 0
-                                    ? std::min<std::size_t>(4, m_count)
-                                    : opts.systems_per_block;
-      }
       for (std::size_t m = 0; m < m_count; ++m) {
         work.push_back(
             TiledPcrWork<T>{batch.system(m), batch.system(m), 0, n, m});

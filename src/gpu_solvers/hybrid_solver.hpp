@@ -13,7 +13,9 @@
 //   4. the solution lands in the batch's d array.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "gpu_solvers/tiled_pcr_kernel.hpp"
 #include "gpusim/device_spec.hpp"
@@ -32,6 +34,27 @@ enum class WindowVariant {
 
 /// Stable name for reports, metrics and telemetry records.
 [[nodiscard]] const char* window_variant_name(WindowVariant v) noexcept;
+
+/// Inverse of window_variant_name (calibration files name variants by
+/// string). Returns nullopt for unknown names; "auto" maps to auto_select.
+[[nodiscard]] std::optional<WindowVariant> window_variant_from_name(
+    std::string_view name) noexcept;
+
+/// Where a solve's plan (k, variant, c, geometry) came from. Reported
+/// per solve via HybridReport::plan_source and the plan_* JSONL block —
+/// unlike the transition.* gauges, which only hold the most recent
+/// planning event (see transition.hpp).
+enum class PlanSource : std::uint8_t {
+  heuristic,   ///< Table III heuristic (the default)
+  cost_model,  ///< Table II argmin (HybridOptions::use_cost_model)
+  forced,      ///< HybridOptions::force_k / explicit variant request
+  calibrated,  ///< preloaded from a --plan-file calibration file
+  autotuned,   ///< measured online by the --autotune candidate sweep
+};
+
+/// Stable name for telemetry ("heuristic", "cost_model", "forced",
+/// "calibrated", "autotuned").
+[[nodiscard]] const char* plan_source_name(PlanSource s) noexcept;
 
 /// Guarded-solve policy (see DESIGN.md "Guarded solve path").
 ///
@@ -65,6 +88,14 @@ struct HybridReport {
   unsigned k = 0;
   WindowVariant variant = WindowVariant::one_block_per_system;
   gpusim::Timeline timeline;
+
+  /// How the plan (k, variant, c, launch geometry) was chosen, and
+  /// whether it came out of the PlanCache instead of being computed for
+  /// this solve. Cache hits are bit-identical to cold solves — the plan
+  /// pins exactly what cold planning would compute.
+  PlanSource plan_source = PlanSource::heuristic;
+  bool plan_cached = false;
+  std::size_t plan_c = 1;  ///< sub-tile multiplier the plan selected
 
   std::size_t reduced_systems = 0;
   std::size_t eliminations_pcr = 0;

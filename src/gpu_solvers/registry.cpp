@@ -15,6 +15,7 @@
 #include "gpu_solvers/davidson.hpp"
 #include "gpu_solvers/hybrid_solver.hpp"
 #include "gpu_solvers/partition_kernel.hpp"
+#include "gpu_solvers/plan_cache.hpp"
 #include "gpu_solvers/transition.hpp"
 #include "gpu_solvers/zhang_pcr_thomas.hpp"
 #include "obs/metrics.hpp"
@@ -136,6 +137,8 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
         out.detail = "k=" + std::to_string(rep.k);
         out.status = rep.status;
         out.k = static_cast<int>(rep.k);
+        out.plan_source = plan_source_name(rep.plan_source);
+        out.plan_cached = rep.plan_cached;
         out.faults = timeline_faults(rep.timeline);
         out.timeline = rep.timeline;
         break;
@@ -198,6 +201,12 @@ SolveOutcome run_solver(SolverKind kind, const gpusim::DeviceSpec& dev,
     out.supported = false;
     out.launch_failed = true;
     out.faults.launch_failures = 1;  // the throw bypassed LaunchStats
+    out.detail = e.what();
+  } catch (const std::invalid_argument& e) {
+    // Structured rejection of caller-supplied options (forced 2^k > N,
+    // over the block limit, ...): never retryable, never silent garbage.
+    out.supported = false;
+    out.bad_argument = true;
     out.detail = e.what();
   } catch (const std::exception& e) {
     out.supported = false;
@@ -379,11 +388,20 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
         !st.host &&
         (st.kind == SolverKind::hybrid || st.kind == SolverKind::hybrid_fused);
     // Pin the hybrid's PCR depth to what a fault-free run over the *full*
-    // batch would pick, so chunked retries and fallback re-dispatches
-    // repeat that run's exact arithmetic (heuristic_k depends on batch
-    // size, and a retry chunk is smaller than the original batch).
+    // batch would plan, so chunked retries and fallback re-dispatches
+    // repeat that run's exact arithmetic (planned k depends on batch
+    // size, and a retry chunk is smaller than the original batch). Going
+    // through the PlanCache means a calibrated/autotuned plan pins its k
+    // here too, and repeated resilient solves of one shape plan once.
     if (hybrid_family && force_k < 0) {
-      force_k = static_cast<int>(heuristic_k(num_systems, n));
+      HybridOptions plan_opts;
+      plan_opts.fuse = st.kind == SolverKind::hybrid_fused;
+      const PlanKey pk =
+          make_plan_key(dev, num_systems, n, sizeof(T), plan_opts);
+      const PlanCache::Result planned = PlanCache::instance().plan(
+          pk, [&] { return plan_hybrid(dev, num_systems, n, sizeof(T),
+                                       plan_opts); });
+      force_k = static_cast<int>(planned.plan.k);
     }
     bool entered = false;
     // Host stages are deterministic and fault-immune: one pass is enough.
@@ -484,9 +502,11 @@ ResilientOutcome run_solver_resilient(SolverKind kind,
         if (so.launch_failed) {
           ar.reason = tridiag::SolveCode::launch_failed;
         } else if (!so.supported) {
-          // Configuration rejected (size cap, functional_only, ...):
-          // retrying the identical dispatch cannot succeed — degrade.
-          ar.reason = tridiag::SolveCode::bad_size;
+          // Configuration rejected (size cap, functional_only, bad
+          // caller options, ...): retrying the identical dispatch cannot
+          // succeed — degrade.
+          ar.reason = so.bad_argument ? tridiag::SolveCode::bad_argument
+                                      : tridiag::SolveCode::bad_size;
           rejected = true;
         } else if (so.faults.timeouts > 0) {
           ar.reason = tridiag::SolveCode::timed_out;

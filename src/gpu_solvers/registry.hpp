@@ -62,10 +62,19 @@ struct SolveOutcome {
   /// (injected LaunchFailure) — a *retryable* condition, unlike a
   /// configuration rejection.
   bool launch_failed = false;
+  /// True when supported == false because the caller's options were
+  /// invalid for the shape (e.g. a forced 2^k > N) — a structured
+  /// bad-argument rejection, never retryable.
+  bool bad_argument = false;
   /// PCR step count the hybrid family actually used (-1 for other
   /// kinds). Retries pin this via SolverRunOptions::force_k so chunked
   /// re-dispatches repeat the exact arithmetic of the first attempt.
   int k = -1;
+  /// Where the hybrid family's plan came from ("heuristic", "cost_model",
+  /// "forced", "calibrated", "autotuned"; empty for other kinds) and
+  /// whether it was a PlanCache hit.
+  std::string plan_source;
+  bool plan_cached = false;
 };
 
 /// Per-run knobs threaded through the registry into the launch engine.
@@ -93,7 +102,10 @@ struct SolverRunOptions {
   /// Force the hybrid family's PCR step count (ignored by other kinds
   /// and by pthomas_only, which is k = 0 by definition). The resilient
   /// pipeline uses this to make sub-batch retries bit-identical to the
-  /// full-batch first attempt, whose heuristic k depends on batch size.
+  /// full-batch first attempt, whose planned k depends on batch size.
+  /// Out-of-range values (2^k > N, or 2^k threads over the device block
+  /// limit) are rejected up front: run_solver returns supported = false
+  /// with bad_argument = true instead of reaching the kernels.
   int force_k = -1;
 };
 

@@ -84,7 +84,12 @@ unsigned heuristic_k(std::size_t m, std::size_t system_size) noexcept {
   }
   // A system must still have at least a couple of rows per reduced system
   // for the split to pay off; clamp 2^k <= system_size / 2.
+  const unsigned table_k = k;
   while (k > 0 && (std::size_t{1} << k) > system_size / 2) --k;
+  if (k != table_k) {
+    static const auto clamped = obs::counter_handle("transition.clamped");
+    clamped.add();
+  }
   obs::gauge("transition.heuristic_k", k);
   return k;
 }

@@ -11,6 +11,15 @@
 //    and as the default in the hybrid solver, exactly as in the paper
 //    ("the closed-form solution cannot easily be expressed and found
 //    during runtime. Instead, we present empirical heuristic values").
+//
+// Gauge contract: `transition.k` / `transition.heuristic_k` /
+// `transition.model_k` are process-wide *most-recent-planning-event*
+// gauges, nothing more — concurrent solves and chunked retries overwrite
+// them last-writer-wins, so they are fine for "what did planning just
+// decide" eyeballing but must never be read as per-solve truth. The
+// per-solve record is HybridReport::{k, plan_source, plan_cached} and the
+// plan_* JSONL block. `transition.clamped` counts every time a heuristic
+// or cost-model k had to be reduced to fit the system size.
 
 #include <cstddef>
 

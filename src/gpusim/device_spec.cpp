@@ -1,6 +1,56 @@
 #include "gpusim/device_spec.hpp"
 
+#include <bit>
+
 namespace tridsolve::gpusim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix_bytes(std::uint64_t& h, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void mix_u64(std::uint64_t& h, std::uint64_t v) noexcept {
+  mix_bytes(h, &v, sizeof v);
+}
+
+void mix_f64(std::uint64_t& h, double v) noexcept {
+  mix_u64(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t DeviceSpec::fingerprint() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  mix_bytes(h, name.data(), name.size());
+  mix_u64(h, static_cast<std::uint64_t>(num_sms));
+  mix_u64(h, static_cast<std::uint64_t>(warp_size));
+  mix_u64(h, static_cast<std::uint64_t>(max_threads_per_sm));
+  mix_u64(h, static_cast<std::uint64_t>(max_blocks_per_sm));
+  mix_u64(h, static_cast<std::uint64_t>(max_threads_per_block));
+  mix_u64(h, shared_mem_per_sm);
+  mix_u64(h, shared_mem_per_block);
+  mix_u64(h, static_cast<std::uint64_t>(shared_banks));
+  mix_u64(h, static_cast<std::uint64_t>(shared_bank_width));
+  mix_u64(h, transaction_bytes);
+  mix_f64(h, mem_bandwidth_gbps);
+  mix_f64(h, mem_latency_cycles);
+  mix_f64(h, max_mem_warps_per_sm);
+  mix_f64(h, clock_ghz);
+  mix_f64(h, fp32_lanes_per_sm);
+  mix_f64(h, fp64_lanes_per_sm);
+  mix_f64(h, div_op_cost);
+  mix_f64(h, barrier_cycles);
+  mix_f64(h, kernel_launch_overhead_us);
+  return h;
+}
 
 DeviceSpec gtx480() {
   DeviceSpec d;

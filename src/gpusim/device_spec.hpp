@@ -13,6 +13,7 @@
 // memory sizes in bytes.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace tridsolve::gpusim {
@@ -58,6 +59,12 @@ struct DeviceSpec {
   [[nodiscard]] double peak_gflops(bool fp64) const noexcept {
     return ops_per_cycle(fp64) * clock_ghz;
   }
+
+  /// Stable identity hash (FNV-1a over the name and every numeric field):
+  /// two specs with equal fields fingerprint equally, and any field change
+  /// changes it. Keys plan-cache entries and calibration files so a plan
+  /// tuned for one device is never applied to another.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
 };
 
 /// The card the paper's evaluation uses (Fermi GF100, 1.5 GB).

@@ -45,6 +45,7 @@ namespace tridsolve::tridiag {
     case SolveCode::singular: return 5;
     case SolveCode::deadline: return 6;
     case SolveCode::bad_size: return 7;
+    case SolveCode::bad_argument: return 8;
   }
   return 0;
 }

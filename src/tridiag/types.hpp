@@ -38,6 +38,8 @@ enum class SolveCode {
   launch_failed,  ///< the kernel launch itself failed before running
   deadline,       ///< the resilience deadline expired before a clean solve
   bad_size,       ///< size mismatch between matrix, rhs, or workspace
+  bad_argument,   ///< caller-supplied option invalid for the shape (e.g.
+                  ///< a forced transition point with 2^k > N)
 };
 
 [[nodiscard]] constexpr const char* solve_code_name(SolveCode c) noexcept {
@@ -50,6 +52,7 @@ enum class SolveCode {
     case SolveCode::launch_failed: return "launch_failed";
     case SolveCode::deadline: return "deadline";
     case SolveCode::bad_size: return "bad_size";
+    case SolveCode::bad_argument: return "bad_argument";
   }
   return "?";
 }

@@ -94,16 +94,20 @@ TEST(FailureInjection, EmptyAndUnitBatches) {
 }
 
 TEST(FailureInjection, HybridWithOversizedForcedK) {
-  // force_k = 8 on a 100-row system: 2^k exceeds the system size, so most
-  // reduced classes do not exist — the solve must still be correct.
+  // force_k = 8 on a 100-row system: 2^k = 256 exceeds the system size.
+  // Planning rejects this up front with a structured bad-argument error
+  // (it used to reach the kernel and solve with mostly-empty reduced
+  // classes); a forced k that fits must still solve correctly.
   const auto dev = gs::gtx480();
   auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 2, 100,
                                       td::Layout::contiguous, 4);
   const auto orig = batch.clone();
   gp::HybridOptions opts;
   opts.force_k = 8;
-  gp::hybrid_solve(dev, batch, opts);
+  EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::invalid_argument);
 
+  opts.force_k = 6;  // 64 <= 100: legal, and the solve must be correct
+  gp::hybrid_solve(dev, batch, opts);
   auto check = orig.clone();
   std::vector<double> x(100);
   for (std::size_t m = 0; m < 2; ++m) {
@@ -121,12 +125,16 @@ TEST(FailureInjection, HybridRejectsImpossibleK) {
   auto batch = wl::make_batch<double>(wl::Kind::random_dominant, 2, 64,
                                       td::Layout::contiguous, 5);
   gp::HybridOptions opts;
-  opts.force_k = 11;  // 2048 threads > 1024/block
+  opts.force_k = 11;  // 2048 threads > 1024/block: rejected at plan time
   EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::invalid_argument);
-  // k = 9 is launchable thread-wise but its window (~65 KB of rows)
-  // exceeds the GTX480's 48 KB shared memory: rejected like a real launch.
-  opts.force_k = 9;
-  EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::length_error);
+  opts.force_k = 9;  // 512 > N = 64: also a plan-time bad argument
+  EXPECT_THROW(gp::hybrid_solve(dev, batch, opts), std::invalid_argument);
+  // Shared-memory exhaustion is still the launch layer's length_error:
+  // k = 9 fits a 1024-row system thread- and shape-wise, but its window
+  // (~65 KB of rows) exceeds the GTX480's 48 KB shared memory.
+  auto big = wl::make_batch<double>(wl::Kind::random_dominant, 2, 1024,
+                                    td::Layout::contiguous, 5);
+  EXPECT_THROW(gp::hybrid_solve(dev, big, opts), std::length_error);
 }
 
 TEST(FailureInjection, TiledPcrSharedOverflowThrows) {

@@ -1,0 +1,359 @@
+// Plan cache + autotuner contracts (see plan_cache.hpp):
+//  * repeated-shape workloads plan once (hits == R - 1, misses == 1);
+//  * cache-hit and calibration-file solves are bitwise-identical to cold
+//    solves with identical simulated time, for every solver kind;
+//  * out-of-range forced k is a structured bad-argument rejection at
+//    every layer (plan_hybrid throw, run_solver outcome, resilient
+//    degradation) instead of reaching the kernels;
+//  * insert()/lookup() shape-check, so a SolvePlan can never apply to a
+//    mismatched PlanKey;
+//  * planning properties over adversarial shapes (non-power-of-two N,
+//    N in {1, 2}, M = 0, huge M).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpu_solvers/autotune.hpp"
+#include "gpu_solvers/hybrid_solver.hpp"
+#include "gpu_solvers/plan_cache.hpp"
+#include "gpu_solvers/registry.hpp"
+#include "gpu_solvers/transition.hpp"
+#include "gpusim/device_spec.hpp"
+#include "obs/metrics.hpp"
+#include "tridiag/layout.hpp"
+#include "workloads/generators.hpp"
+
+namespace td = tridsolve::tridiag;
+namespace wl = tridsolve::workloads;
+namespace gp = tridsolve::gpu;
+namespace gs = tridsolve::gpusim;
+namespace obs = tridsolve::obs;
+
+namespace {
+
+double counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name);
+}
+
+td::SystemBatch<double> make_batch(std::size_t m, std::size_t n,
+                                   unsigned seed = 42) {
+  return wl::make_batch<double>(wl::Kind::random_dominant, m, n,
+                                td::Layout::contiguous, seed);
+}
+
+/// Bitwise comparison of two solved batches' solution arrays.
+bool bitwise_equal(const td::SystemBatch<double>& a,
+                   const td::SystemBatch<double>& b) {
+  if (a.d().size() != b.d().size()) return false;
+  return std::memcmp(a.d().data(), b.d().data(),
+                     a.d().size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+TEST(PlanCache, RepeatedShapePlansOnce) {
+  const auto dev = gs::gtx480();
+  gp::PlanCache::instance().clear();
+  const auto batch = make_batch(16, 256);
+  const double hits0 = counter("gpu.plan_cache.hits");
+  const double misses0 = counter("gpu.plan_cache.misses");
+
+  constexpr int kRepeats = 16;
+  gp::SolveOutcome first;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto out =
+        gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch);
+    ASSERT_TRUE(out.supported);
+    if (r == 0) {
+      first = out;
+      EXPECT_FALSE(out.plan_cached) << "first solve of a shape must be cold";
+    } else {
+      EXPECT_TRUE(out.plan_cached);
+      EXPECT_DOUBLE_EQ(out.time_us, first.time_us)
+          << "cache-hit solve must repeat the cold solve's simulated time";
+    }
+  }
+  EXPECT_EQ(counter("gpu.plan_cache.misses") - misses0, 1.0);
+  EXPECT_EQ(counter("gpu.plan_cache.hits") - hits0, kRepeats - 1.0);
+}
+
+TEST(PlanCache, CacheHitSolvesBitIdenticalAcrossRegistry) {
+  const auto dev = gs::gtx480();
+  const auto batch = make_batch(8, 64, 7);
+  for (const gp::SolverKind kind : gp::all_solver_kinds()) {
+    gp::PlanCache::instance().clear();
+    td::SystemBatch<double> cold_sol, hit_sol;
+    const auto cold =
+        gp::run_solver<double>(kind, dev, batch, {}, &cold_sol);
+    if (!cold.supported) continue;  // size cap etc. — nothing to compare
+    const auto hit = gp::run_solver<double>(kind, dev, batch, {}, &hit_sol);
+    ASSERT_TRUE(hit.supported) << gp::solver_name(kind);
+    EXPECT_TRUE(bitwise_equal(cold_sol, hit_sol))
+        << gp::solver_name(kind) << ": cache-hit solution drifted";
+    EXPECT_DOUBLE_EQ(cold.time_us, hit.time_us) << gp::solver_name(kind);
+    EXPECT_EQ(cold.k, hit.k) << gp::solver_name(kind);
+  }
+}
+
+TEST(PlanCache, CalibrationFileSolvesBitIdenticalToCold) {
+  const auto dev = gs::gtx480();
+  const std::size_t m = 16, n = 256;
+  const auto batch = make_batch(m, n, 9);
+
+  // Cold reference solve (and the plan it used).
+  gp::PlanCache::instance().clear();
+  td::SystemBatch<double> cold_sol;
+  const auto cold = gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch,
+                                           {}, &cold_sol);
+  ASSERT_TRUE(cold.supported);
+  const gp::SolvePlan plan = gp::plan_hybrid(dev, m, n, sizeof(double), {});
+
+  // A calibration file pinning exactly that plan.
+  const std::string path = testing::TempDir() + "plan_cache_test.json";
+  {
+    std::ofstream f(path);
+    ASSERT_TRUE(f.good());
+    f << "{\"schema\":\"tridsolve-plan-v1\",\"device\":\"" << dev.name
+      << "\",\"fingerprint\":\"" << dev.fingerprint() << "\",\"plans\":[{"
+      << "\"m\":" << m << ",\"n\":" << n << ",\"elem_size\":8,"
+      << "\"k\":" << plan.k << ",\"variant\":\""
+      << gp::window_variant_name(plan.variant) << "\",\"c\":" << plan.c
+      << ",\"blocks_per_system\":" << plan.blocks_per_system
+      << ",\"systems_per_block\":" << plan.systems_per_block
+      << ",\"tuned_us\":1.0,\"heuristic_us\":1.0}]}";
+  }
+
+  gp::PlanCache::instance().clear();
+  ASSERT_EQ(gp::PlanCache::instance().load_calibration(path), 1u);
+  td::SystemBatch<double> cal_sol;
+  const auto cal = gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch,
+                                          {}, &cal_sol);
+  ASSERT_TRUE(cal.supported);
+  EXPECT_TRUE(cal.plan_cached) << "calibration entry must serve the solve";
+  EXPECT_EQ(cal.plan_source, "calibrated");
+  EXPECT_TRUE(bitwise_equal(cold_sol, cal_sol));
+  EXPECT_DOUBLE_EQ(cold.time_us, cal.time_us);
+}
+
+TEST(PlanCache, OutOfRangeForcedKIsStructuredRejection) {
+  const auto dev = gs::gtx480();
+  // Layer 1: plan_hybrid throws invalid_argument.
+  gp::HybridOptions opts;
+  opts.force_k = 9;  // 512 > N = 64
+  EXPECT_THROW(gp::plan_hybrid(dev, 4, 64, sizeof(double), opts),
+               std::invalid_argument);
+  opts.force_k = 17;  // over the kernel cap
+  EXPECT_THROW(gp::plan_hybrid(dev, 4, 1 << 20, sizeof(double), opts),
+               std::invalid_argument);
+  opts.force_k = 0;  // k = 0 is always legal (pure p-Thomas)
+  EXPECT_EQ(gp::plan_hybrid(dev, 4, 64, sizeof(double), opts).k, 0u);
+
+  // Layer 2: run_solver reports supported = false + bad_argument = true
+  // (never an exception, never bad_size — the shape itself is fine).
+  const auto batch = make_batch(4, 64);
+  gp::SolverRunOptions run;
+  run.force_k = 9;
+  const auto out = gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch,
+                                          run);
+  EXPECT_FALSE(out.supported);
+  EXPECT_TRUE(out.bad_argument);
+  EXPECT_FALSE(out.launch_failed) << "bad argument is not retryable";
+  EXPECT_FALSE(out.detail.empty());
+
+  // Layer 3: the resilient pipeline records the bad_argument attempt and
+  // degrades down the fallback chain to a full recovery.
+  const auto ro = gp::run_solver_resilient<double>(gp::SolverKind::hybrid, dev,
+                                                   batch, run);
+  EXPECT_TRUE(ro.outcome.supported);
+  EXPECT_FALSE(ro.report.partial) << "fallback chain must recover all systems";
+  ASSERT_FALSE(ro.report.attempts.empty());
+  EXPECT_EQ(ro.report.attempts.front().reason, td::SolveCode::bad_argument);
+  EXPECT_GE(ro.report.fallback_stages, 1u);
+}
+
+TEST(PlanCache, InsertRejectsMismatchedShapes) {
+  auto& cache = gp::PlanCache::instance();
+  cache.clear();
+  const auto dev = gs::gtx480();
+  const double rejected0 = counter("gpu.plan_cache.rejected");
+
+  gp::PlanKey key = gp::make_plan_key(dev, 8, 64, sizeof(double), {});
+  gp::SolvePlan plan;
+  plan.k = 9;  // 512 > 64: cannot fit the key's shape
+  plan.variant = gp::WindowVariant::one_block_per_system;
+  EXPECT_FALSE(cache.insert(key, plan));
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A forced-k key can only cache a plan honoring that k.
+  gp::HybridOptions forced;
+  forced.force_k = 4;
+  gp::PlanKey fkey = gp::make_plan_key(dev, 8, 64, sizeof(double), forced);
+  gp::SolvePlan other;
+  other.k = 5;
+  other.variant = gp::WindowVariant::one_block_per_system;
+  EXPECT_FALSE(cache.insert(fkey, other));
+
+  plan.k = 5;  // 32 <= 64: fits
+  EXPECT_TRUE(cache.insert(key, plan));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto back = cache.lookup(key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->k, 5u);
+  EXPECT_EQ(counter("gpu.plan_cache.rejected") - rejected0, 2.0);
+  cache.clear();
+}
+
+TEST(PlanCache, CalibrationRejectsWrongSchemaAndUnfitPlans) {
+  auto& cache = gp::PlanCache::instance();
+  cache.clear();
+  const auto dev = gs::gtx480();
+  const std::string dir = testing::TempDir();
+
+  {
+    std::ofstream f(dir + "bad_schema.json");
+    f << "{\"schema\":\"something-else\",\"fingerprint\":\"1\",\"plans\":[]}";
+  }
+  EXPECT_THROW(cache.load_calibration(dir + "bad_schema.json"),
+               std::runtime_error);
+  EXPECT_THROW(cache.load_calibration(dir + "does_not_exist.json"),
+               std::runtime_error);
+
+  // One fit entry, one whose k cannot fit its n: only the first loads.
+  {
+    std::ofstream f(dir + "mixed.json");
+    f << "{\"schema\":\"tridsolve-plan-v1\",\"device\":\"" << dev.name
+      << "\",\"fingerprint\":\"" << dev.fingerprint() << "\",\"plans\":["
+      << "{\"m\":8,\"n\":64,\"k\":5,\"variant\":\"one_block_per_system\","
+      << "\"c\":1,\"tuned_us\":1.0},"
+      << "{\"m\":8,\"n\":64,\"k\":9,\"variant\":\"one_block_per_system\","
+      << "\"c\":1,\"tuned_us\":1.0}]}";
+  }
+  EXPECT_EQ(cache.load_calibration(dir + "mixed.json"), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+}
+
+TEST(PlanCache, ResilientRetriesBitIdenticalColdVsCached) {
+  const auto dev = gs::gtx480();
+  const auto batch = make_batch(24, 128, 11);
+
+  gp::PlanCache::instance().clear();
+  td::SystemBatch<double> cold_sol, hit_sol;
+  const auto cold = gp::run_solver_resilient<double>(
+      gp::SolverKind::hybrid, dev, batch, {}, {}, &cold_sol);
+  const auto hit = gp::run_solver_resilient<double>(
+      gp::SolverKind::hybrid, dev, batch, {}, {}, &hit_sol);
+  ASSERT_TRUE(cold.outcome.supported);
+  ASSERT_TRUE(hit.outcome.supported);
+  EXPECT_TRUE(bitwise_equal(cold_sol, hit_sol))
+      << "resilient solve with a warm cache drifted from the cold run";
+  EXPECT_DOUBLE_EQ(cold.outcome.time_us, hit.outcome.time_us);
+  EXPECT_EQ(cold.outcome.k, hit.outcome.k);
+}
+
+TEST(PlanCache, OnlineAutotunePlansServeRepeatSolves) {
+  const auto dev = gs::gtx480();
+  auto& cache = gp::PlanCache::instance();
+  cache.clear();
+  cache.set_autotune(true);
+  const auto batch = make_batch(16, 64, 13);
+  const auto first =
+      gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch);
+  const auto second =
+      gp::run_solver<double>(gp::SolverKind::hybrid, dev, batch);
+  cache.set_autotune(false);
+  cache.clear();
+  ASSERT_TRUE(first.supported);
+  ASSERT_TRUE(second.supported);
+  EXPECT_EQ(first.plan_source, "autotuned");
+  EXPECT_FALSE(first.plan_cached);
+  EXPECT_TRUE(second.plan_cached);
+  EXPECT_EQ(second.plan_source, "autotuned");
+  EXPECT_DOUBLE_EQ(first.time_us, second.time_us);
+}
+
+TEST(PlanCache, AutotunerNeverLosesToHeuristic) {
+  const auto dev = gs::gtx480();
+  const std::vector<std::pair<std::size_t, std::size_t>> cells{
+      {1, 512}, {16, 256}, {100, 100}, {1024, 128}};
+  for (const auto& [m, n] : cells) {
+    const auto r = gp::autotune_cell<double>(dev, m, n);
+    EXPECT_LE(r.best_us, r.heuristic_us) << "m=" << m << " n=" << n;
+    EXPECT_GE(r.candidates.size(), 1u);
+    EXPECT_EQ(r.best.source, gp::PlanSource::autotuned);
+    EXPECT_TRUE(r.best.fits(n));
+  }
+  EXPECT_THROW(gp::autotune_cell<double>(dev, 0, 64), std::invalid_argument);
+}
+
+TEST(PlanProperties, PlansAlwaysFitAdversarialShapes) {
+  const auto dev = gs::gtx480();
+  const std::size_t Ms[] = {0, 1, 15, 16, 511, 512, 100001};
+  const std::size_t Ns[] = {1, 2, 3, 5, 100, 127, 129, 1000};
+  for (const std::size_t m : Ms) {
+    for (const std::size_t n : Ns) {
+      for (const bool model : {false, true}) {
+        gp::HybridOptions o;
+        o.use_cost_model = model;
+        const auto plan = gp::plan_hybrid(dev, m, n, sizeof(double), o);
+        EXPECT_TRUE(plan.fits(n)) << "m=" << m << " n=" << n;
+        EXPECT_LE(std::size_t{1} << plan.k, n)
+            << "m=" << m << " n=" << n << " model=" << model
+            << ": 2^k must never exceed the system size";
+        EXPECT_NE(plan.variant, gp::WindowVariant::auto_select);
+        EXPECT_GE(plan.c, 1u);
+      }
+    }
+  }
+}
+
+TEST(PlanProperties, HeuristicKRespectsItsOwnClamp) {
+  const std::size_t Ms[] = {0, 1, 15, 16, 511, 512, 100001};
+  const std::size_t Ns[] = {1, 2, 3, 5, 100, 127, 129, 1000};
+  for (const std::size_t m : Ms) {
+    for (const std::size_t n : Ns) {
+      const unsigned k = gp::heuristic_k(m, n);
+      EXPECT_TRUE(k == 0 || (std::size_t{1} << k) <= n / 2)
+          << "m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PlanProperties, ClampEventsAreCounted) {
+  // heuristic_k(1, 100): Table III says k = 8, but 256 > 100/2 — the
+  // fit clamp must fire and be observable.
+  const double before = counter("transition.clamped");
+  const unsigned k = gp::heuristic_k(1, 100);
+  EXPECT_LT(k, 8u);
+  EXPECT_GE(counter("transition.clamped") - before, 1.0);
+}
+
+TEST(PlanProperties, ForcedKRoundTripsOrThrows) {
+  const auto dev = gs::gtx480();
+  const std::size_t Ns[] = {1, 2, 64, 100, 1000, 1 << 17};
+  for (const std::size_t n : Ns) {
+    for (int k = 0; k <= 17; ++k) {
+      gp::HybridOptions o;
+      o.force_k = k;
+      const bool feasible =
+          k == 0 ||
+          (k <= 16 && (std::size_t{1} << k) <= n &&
+           (std::size_t{1} << k) <=
+               static_cast<std::size_t>(dev.max_threads_per_block));
+      if (feasible) {
+        EXPECT_EQ(gp::plan_hybrid(dev, 4, n, sizeof(double), o).k,
+                  static_cast<unsigned>(k));
+      } else {
+        EXPECT_THROW(gp::plan_hybrid(dev, 4, n, sizeof(double), o),
+                     std::invalid_argument)
+            << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}

@@ -43,6 +43,18 @@
 // numeric ts/dur/pid/tid with ts, dur >= 0; within each (pid, tid) track,
 // events sorted by ts are non-overlapping (monotonic timeline).
 //
+// The plan block (written by bench::Telemetry for hybrid-family records
+// and by bench_autotune) is all-or-nothing as well: `plan_source` a
+// PlanSource name, `plan_cached` 0/1, `plan_k` >= 0, `plan_variant` a
+// string and `plan_c` >= 1.
+//
+// Calibration-file checks (--plan, written by bench_autotune --out):
+// schema tridsolve-plan-v1, device name plus decimal-string fingerprint,
+// and per-plan shape/variant sanity (2^k must fit n, concrete variant,
+// c >= 1). Counter assertions (--metrics FILE --require-counters
+// "a>=1,b<=0,c==2"): each comma term checks one counter of a
+// --metrics-json dump; counters the registry never touched read as 0.
+//
 // Exit code 0 on success; 1 with a diagnostic on the first failure.
 
 #include <algorithm>
@@ -254,7 +266,7 @@ std::size_t validate_jsonl(const std::string& path) {
       }
       static constexpr const char* codes[] = {
           "ok", "near_singular", "zero_pivot", "timed_out", "launch_failed",
-          "singular", "deadline", "bad_size"};
+          "singular", "deadline", "bad_size", "bad_argument"};
       const std::string worst = require_string(rec, "resilience_worst", where);
       if (std::find_if(std::begin(codes), std::end(codes),
                        [&worst](const char* c) { return worst == c; }) ==
@@ -262,6 +274,38 @@ std::size_t validate_jsonl(const std::string& path) {
         fail(where + ": resilience_worst \"" + worst +
              "\" is not a SolveCode name");
       }
+    }
+
+    // Plan provenance block (hybrid and autotune records): written
+    // together by bench::Telemetry / bench_autotune — all-or-nothing.
+    static constexpr const char* plan_keys[] = {
+        "plan_source", "plan_cached", "plan_k", "plan_variant", "plan_c"};
+    bool has_plan_any = false, has_plan_all = true;
+    for (const char* key : plan_keys) {
+      if (rec.find(key)) has_plan_any = true;
+      else has_plan_all = false;
+    }
+    if (has_plan_any) {
+      if (!has_plan_all) {
+        fail(where + ": partial plan block (need all of plan_{source,cached,"
+             "k,variant,c})");
+      }
+      static constexpr const char* sources[] = {
+          "heuristic", "cost_model", "forced", "calibrated", "autotuned"};
+      const std::string source = require_string(rec, "plan_source", where);
+      if (std::find_if(std::begin(sources), std::end(sources),
+                       [&source](const char* s) { return source == s; }) ==
+          std::end(sources)) {
+        fail(where + ": plan_source \"" + source +
+             "\" is not a PlanSource name");
+      }
+      const double cached = require_number(rec, "plan_cached", where);
+      if (cached != 0.0 && cached != 1.0) {
+        fail(where + ": plan_cached is not 0 or 1");
+      }
+      if (require_number(rec, "plan_k", where) < 0) fail(where + ": plan_k < 0");
+      require_string(rec, "plan_variant", where);
+      if (require_number(rec, "plan_c", where) < 1) fail(where + ": plan_c < 1");
     }
 
     // Roofline attribution: a bench_profile per-phase record carries the
@@ -409,16 +453,119 @@ void validate_trace(const std::string& path) {
               path.c_str(), durations, tracks.size());
 }
 
+/// Calibration-file checks (bench_autotune --out): schema tag, device
+/// identity (name + decimal-string fingerprint) and per-plan sanity —
+/// positive shape, k that fits it, a concrete (non-auto) window variant
+/// and c >= 1. Returns the number of plans.
+std::size_t validate_plan_file(const std::string& path) {
+  const auto parsed = JsonValue::parse(read_file(path));
+  if (!parsed) fail(path + ": not valid JSON");
+  if (!parsed->is_object()) fail(path + ": top level is not an object");
+  const JsonValue& doc = *parsed;
+  const std::string schema = require_string(doc, "schema", path);
+  if (schema != "tridsolve-plan-v1") {
+    fail(path + ": schema \"" + schema + "\" is not tridsolve-plan-v1");
+  }
+  require_string(doc, "device", path);
+  const std::string fp = require_string(doc, "fingerprint", path);
+  if (fp.find_first_not_of("0123456789") != std::string::npos) {
+    fail(path + ": fingerprint is not a decimal string");
+  }
+  const JsonValue& plans = require(doc, "plans", path);
+  if (!plans.is_array()) fail(path + ": plans is not an array");
+  std::size_t idx = 0;
+  for (const JsonValue& entry : plans.as_array()) {
+    const std::string where = path + " plans[" + std::to_string(idx++) + "]";
+    if (!entry.is_object()) fail(where + ": entry is not an object");
+    const double m = require_number(entry, "m", where);
+    const double n = require_number(entry, "n", where);
+    if (m < 1) fail(where + ": m < 1");
+    if (n < 1) fail(where + ": n < 1");
+    const double k = require_number(entry, "k", where);
+    if (k < 0 || k > 30) fail(where + ": k outside [0, 30]");
+    if (std::ldexp(1.0, static_cast<int>(k)) > n) {
+      fail(where + ": 2^k exceeds n (plan cannot fit its shape)");
+    }
+    const std::string variant = require_string(entry, "variant", where);
+    static constexpr const char* variants[] = {
+        "one_block_per_system", "split_system", "multi_system_per_block"};
+    if (std::find_if(std::begin(variants), std::end(variants),
+                     [&variant](const char* v) { return variant == v; }) ==
+        std::end(variants)) {
+      fail(where + ": variant \"" + variant +
+           "\" is not a concrete window variant");
+    }
+    if (require_number(entry, "c", where) < 1) fail(where + ": c < 1");
+    if (require_number(entry, "tuned_us", where) < 0) {
+      fail(where + ": tuned_us < 0");
+    }
+    if (require_number(entry, "heuristic_us", where) < 0) {
+      fail(where + ": heuristic_us < 0");
+    }
+  }
+  return idx;
+}
+
+/// Counter assertions over a --metrics-json dump: `spec` is a comma list
+/// of `name>=value`, `name<=value` or `name==value` terms. A counter the
+/// registry never touched reads as 0 (so `misses<=1` holds on a clean
+/// run rather than failing on a missing key).
+void validate_metrics(const std::string& path, const std::string& spec) {
+  const auto parsed = JsonValue::parse(read_file(path));
+  if (!parsed) fail(path + ": not valid JSON");
+  const JsonValue* counters = parsed->find("counters");
+  if (!counters || !counters->is_object()) {
+    fail(path + ": missing \"counters\" object (not a --metrics-json dump?)");
+  }
+  std::size_t checked = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string term = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (term.empty()) continue;
+    std::size_t op_at = term.find(">=");
+    std::string op = ">=";
+    if (op_at == std::string::npos) { op_at = term.find("<="); op = "<="; }
+    if (op_at == std::string::npos) { op_at = term.find("=="); op = "=="; }
+    if (op_at == std::string::npos) {
+      fail("--require-counters term \"" + term +
+           "\" has no >=, <= or == operator");
+    }
+    const std::string name = term.substr(0, op_at);
+    const double want = std::strtod(term.c_str() + op_at + 2, nullptr);
+    const JsonValue* v = counters->find(name);
+    const double got = v && v->is_number() ? v->as_number() : 0.0;
+    const bool pass = op == ">=" ? got >= want
+                    : op == "<=" ? got <= want
+                                 : got == want;
+    if (!pass) {
+      fail(path + ": counter " + name + " = " + std::to_string(got) +
+           " violates " + term);
+    }
+    ++checked;
+  }
+  if (checked == 0) fail("--require-counters spec is empty");
+  std::printf("validate_telemetry: %s OK (%zu counter assertions)\n",
+              path.c_str(), checked);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const tridsolve::util::Cli cli(argc, argv,
-                                 {"jsonl", "trace", "spans", "min-records"});
+                                 {"jsonl", "trace", "spans", "min-records",
+                                  "plan", "metrics", "require-counters"});
   const std::string jsonl = cli.get_string("jsonl", "");
   const std::string trace = cli.get_string("trace", "");
   const std::string spans = cli.get_string("spans", "");
-  if (jsonl.empty() && trace.empty() && spans.empty()) {
-    fail("nothing to validate: pass --jsonl, --trace and/or --spans");
+  const std::string plan = cli.get_string("plan", "");
+  const std::string metrics = cli.get_string("metrics", "");
+  if (jsonl.empty() && trace.empty() && spans.empty() && plan.empty() &&
+      metrics.empty()) {
+    fail("nothing to validate: pass --jsonl, --trace, --spans, --plan and/or"
+         " --metrics");
   }
 
   if (!jsonl.empty()) {
@@ -438,5 +585,13 @@ int main(int argc, char** argv) {
     std::printf("validate_telemetry: %s OK (%zu spans)\n", spans.c_str(), n);
   }
   if (!trace.empty()) validate_trace(trace);
+  if (!plan.empty()) {
+    const std::size_t n = validate_plan_file(plan);
+    if (n == 0) fail(plan + ": no plans");
+    std::printf("validate_telemetry: %s OK (%zu plans)\n", plan.c_str(), n);
+  }
+  if (!metrics.empty()) {
+    validate_metrics(metrics, cli.get_string("require-counters", ""));
+  }
   return 0;
 }
