@@ -1,0 +1,226 @@
+// Saturation curve for the solve service (ROADMAP item 1): sweep offered
+// load through the async queue + batch coalescer and report p50/p99
+// latency, batch occupancy, and the throughput of coalesced launches vs
+// what the same requests would cost as per-request solo launches. The
+// paper's Fig. 12 says simulated solve time is flat in M until the
+// device saturates — so as load rises, occupancy rises, and the batched
+// simulated time falls ever further below the solo sum. docs/SERVICE.md
+// and EXPERIMENTS.md ("Reproducing BENCH_service.json") read this curve.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/solve_service.hpp"
+#include "workloads/traffic.hpp"
+
+using namespace tridsolve;
+
+namespace {
+
+/// Parse a comma-separated list of positive rates ("2000,50000").
+std::vector<double> parse_rates(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string tok = text.substr(pos, comma - pos);
+    if (!tok.empty()) out.push_back(std::stod(tok));
+    pos = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty rate list: " + text);
+  return out;
+}
+
+gpu::SolverKind solver_from_token(const std::string& tok) {
+  if (tok == "hybrid") return gpu::SolverKind::hybrid;
+  if (tok == "hybrid-fused") return gpu::SolverKind::hybrid_fused;
+  if (tok == "pthomas") return gpu::SolverKind::pthomas_only;
+  if (tok == "zhang") return gpu::SolverKind::zhang;
+  if (tok == "cr") return gpu::SolverKind::cr;
+  if (tok == "davidson") return gpu::SolverKind::davidson;
+  if (tok == "partition") return gpu::SolverKind::partition;
+  throw std::invalid_argument(
+      "unknown --solver: " + tok +
+      " (expected hybrid, hybrid-fused, pthomas, zhang, cr, davidson or "
+      "partition)");
+}
+
+/// Exact percentile of a sorted sample (nearest-rank).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(
+      argc, argv,
+      util::with_obs_flags({"arrival-rate", "requests", "burst",
+                            "batch-window-us", "max-batch", "shards", "n",
+                            "solver", "seed", "quick", "smoke"}));
+  const auto dev = gpusim::gtx480();
+  bench::Telemetry telemetry(cli, "service");
+
+  std::vector<double> rates{2000, 10000, 50000, 250000};
+  std::size_t requests =
+      static_cast<std::size_t>(cli.get_int("requests", 600));
+  std::size_t n = static_cast<std::size_t>(cli.get_int("n", 128));
+  if (cli.get_bool("quick", false)) {
+    rates = {5000, 50000};
+    requests = static_cast<std::size_t>(cli.get_int("requests", 200));
+  }
+  if (cli.get_bool("smoke", false)) {
+    rates = {20000};
+    requests = static_cast<std::size_t>(cli.get_int("requests", 60));
+    n = static_cast<std::size_t>(cli.get_int("n", 64));
+  }
+  if (const auto v = cli.get("arrival-rate")) rates = parse_rates(*v);
+
+  const double burst = cli.get_double("burst", 1.0);
+  const double window_us = cli.get_double("batch-window-us", 200.0);
+  const std::size_t max_batch =
+      static_cast<std::size_t>(cli.get_int("max-batch", 4096));
+  const std::size_t shards =
+      static_cast<std::size_t>(cli.get_int("shards", 8));
+  const std::string solver_tok = cli.get_string("solver", "hybrid");
+  const gpu::SolverKind solver = solver_from_token(solver_tok);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  // One deterministic request population per run, shared across every
+  // sweep point so the curve varies only in arrival pattern.
+  util::Xoshiro256 rng(seed);
+  std::vector<tridiag::TridiagSystem<double>> systems;
+  systems.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    systems.push_back(workloads::make_request_system(
+        workloads::Kind::random_dominant, n, rng));
+  }
+
+  // Solo baseline: the simulated cost of launching every request on its
+  // own (the no-service world). Rate-independent, so computed once.
+  gpu::SolverRunOptions solo_opts;
+  solo_opts.guard = true;
+  double solo_sim_us = 0.0;
+  for (const auto& sys : systems) {
+    tridiag::SystemBatch<double> one(1, n, service::coalesced_layout(1, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      one.a()[i] = sys.a()[i];
+      one.b()[i] = sys.b()[i];
+      one.c()[i] = sys.c()[i];
+      one.d()[i] = sys.d()[i];
+    }
+    solo_sim_us += gpu::run_solver(solver, dev, one, solo_opts).time_us;
+  }
+
+  util::Table table("Solve service saturation sweep (" + solver_tok +
+                    ", N=" + std::to_string(n) +
+                    ", window=" + util::Table::num(window_us, 0) + "us)");
+  table.set_header({"rate[rps]", "achieved", "req", "batches", "occ.mean",
+                    "occ.max", "p50[us]", "p99[us]", "sim.batch[ms]",
+                    "sim.solo[ms]", "speedup"});
+
+  for (const double rate : rates) {
+    workloads::TrafficConfig tcfg;
+    tcfg.rate_rps = rate;
+    tcfg.burst = burst;
+    tcfg.requests = requests;
+    tcfg.seed = seed;
+    const auto arrivals = workloads::arrival_times_us(tcfg);
+
+    service::ServiceConfig scfg;
+    scfg.batch_window_us = window_us;
+    scfg.max_batch = max_batch;
+    scfg.shards = shards;
+    scfg.solver = solver;
+    scfg.device = dev;
+    service::SolveService svc(scfg);
+
+    std::vector<std::future<service::SolveResult>> futures;
+    futures.reserve(requests);
+    const auto base = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      std::this_thread::sleep_until(
+          base + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double, std::micro>(arrivals[i])));
+      service::SolveRequest req;
+      req.system = systems[i].clone();
+      futures.push_back(svc.submit(std::move(req)));
+    }
+    std::vector<service::SolveResult> results;
+    results.reserve(requests);
+    for (auto& f : futures) results.push_back(f.get());
+    const auto done = std::chrono::steady_clock::now();
+    svc.shutdown();
+
+    std::vector<double> latencies;
+    latencies.reserve(results.size());
+    std::map<std::uint64_t, std::pair<std::size_t, double>> batches;
+    for (const auto& r : results) {
+      latencies.push_back(r.latency_us);
+      if (r.batch_id != 0) batches[r.batch_id] = {r.batch_size, r.solve_us};
+    }
+    std::sort(latencies.begin(), latencies.end());
+    double batched_sim_us = 0.0;
+    std::size_t occ_max = 0;
+    for (const auto& [id, info] : batches) {
+      batched_sim_us += info.second;
+      occ_max = std::max(occ_max, info.first);
+    }
+    const double occ_mean =
+        batches.empty() ? 0.0
+                        : static_cast<double>(requests - svc.requests_expired()) /
+                              static_cast<double>(batches.size());
+    const double wall_s =
+        std::chrono::duration<double>(done - base).count();
+    const double achieved =
+        wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0;
+    const double p50 = percentile(latencies, 50.0);
+    const double p99 = percentile(latencies, 99.0);
+    const double speedup =
+        batched_sim_us > 0.0 ? solo_sim_us / batched_sim_us : 0.0;
+
+    table.add_row({util::Table::integer(static_cast<long long>(rate)),
+                   util::Table::integer(static_cast<long long>(achieved)),
+                   util::Table::integer(static_cast<long long>(requests)),
+                   util::Table::integer(
+                       static_cast<long long>(svc.batches_launched())),
+                   util::Table::num(occ_mean, 1),
+                   util::Table::integer(static_cast<long long>(occ_max)),
+                   bench::us(p50), bench::us(p99), bench::ms(batched_sim_us),
+                   bench::ms(solo_sim_us), bench::ratio(speedup)});
+
+    obs::JsonValue rec = obs::JsonValue::object();
+    rec["solver"] = solver_tok;
+    rec["m"] = requests;
+    rec["n"] = n;
+    rec["time_us"] = batched_sim_us;
+    rec["service_offered_rps"] = rate;
+    rec["service_achieved_rps"] = achieved;
+    rec["service_requests"] = requests;
+    rec["service_expired"] = svc.requests_expired();
+    rec["service_batches"] = svc.batches_launched();
+    rec["service_occupancy_mean"] = occ_mean;
+    rec["service_occupancy_max"] = occ_max;
+    rec["service_p50_us"] = p50;
+    rec["service_p99_us"] = p99;
+    rec["service_batched_sim_us"] = batched_sim_us;
+    rec["service_solo_sim_us"] = solo_sim_us;
+    telemetry.record_raw(std::move(rec));
+  }
+  bench::emit(table, cli);
+  return 0;
+}

@@ -1,0 +1,381 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "gpu_solvers/transition.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace tridsolve::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double us_between(Clock::time_point t0,
+                                Clock::time_point t1) noexcept {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+tridiag::Layout coalesced_layout(std::size_t m, std::size_t n) {
+  // Same rule the paper-reproduction benches use (bench_common):
+  // heuristic k = 0 means pure p-Thomas leads, which wants the
+  // coalescing-friendly interleaved columns; any tiled-PCR prefix works
+  // on contiguous systems.
+  return gpu::heuristic_k(m, n) == 0 ? tridiag::Layout::interleaved
+                                     : tridiag::Layout::contiguous;
+}
+
+/// One accepted request waiting for (or riding) a batch.
+struct SolveService::Pending {
+  std::uint64_t seq = 0;
+  SolveRequest req;
+  std::promise<SolveResult> promise;
+  Clock::time_point arrival{};
+  Clock::time_point deadline{};  ///< meaningful only when has_deadline
+  bool has_deadline = false;
+  /// Submit timestamp on the tracer's wall clock; < 0 when tracing was
+  /// off at submit time (child spans then start at batch start).
+  double wall_submit_us = -1.0;
+};
+
+struct SolveService::Shard {
+  std::mutex mu;
+  std::deque<Pending> q;
+};
+
+SolveService::SolveService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      m_submitted_(obs::counter_handle("service.requests.submitted")),
+      m_completed_(obs::counter_handle("service.requests.completed")),
+      m_expired_(obs::counter_handle("service.requests.expired")),
+      m_rejected_(obs::counter_handle("service.requests.rejected")),
+      m_batches_(obs::counter_handle("service.batches")),
+      m_solo_batches_(obs::counter_handle("service.batches.solo")),
+      h_latency_(obs::histogram_handle("service.request.latency_us")),
+      h_queue_(obs::histogram_handle("service.request.queue_us")),
+      h_batch_size_(obs::histogram_handle("service.batch.size")),
+      h_solve_us_(obs::histogram_handle("service.batch.solve_us")) {
+  if (cfg_.shards == 0) cfg_.shards = 1;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  if (cfg_.batch_window_us < 0.0) cfg_.batch_window_us = 0.0;
+  shards_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  accepting_.store(true, std::memory_order_release);
+  if (cfg_.auto_start) start();
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+std::future<SolveResult> SolveService::submit(SolveRequest req) {
+  std::promise<SolveResult> promise;
+  auto future = promise.get_future();
+
+  if (req.system.size() == 0) {
+    m_rejected_.add();
+    SolveResult r;
+    r.code = tridiag::SolveCode::bad_size;
+    promise.set_value(std::move(r));
+    return future;
+  }
+
+  Pending p;
+  p.req = std::move(req);
+  p.promise = std::move(promise);
+  p.arrival = Clock::now();
+  if (p.req.deadline_us > 0.0) {
+    p.has_deadline = true;
+    p.deadline = p.arrival + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::micro>(
+                                     p.req.deadline_us));
+  }
+  auto& tracer = obs::SpanTracer::instance();
+  if (tracer.enabled()) p.wall_submit_us = tracer.now_wall_us();
+
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  p.seq = seq;
+  Shard& shard = *shards_[seq % shards_.size()];
+  {
+    std::lock_guard lk(shard.mu);
+    // accepting_ is checked under the shard lock; shutdown() flips it and
+    // then passes through every shard lock, so after that barrier no
+    // submit can still be mid-push — the drain loop sees everything.
+    if (!accepting_.load(std::memory_order_acquire)) {
+      m_rejected_.add();
+      SolveResult r;
+      r.code = tridiag::SolveCode::bad_argument;
+      r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
+      p.promise.set_value(std::move(r));
+      return future;
+    }
+    shard.q.push_back(std::move(p));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  m_submitted_.add();
+  wake_cv_.notify_one();
+  return future;
+}
+
+void SolveService::start() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (batcher_.joinable() || stop_.load(std::memory_order_acquire)) return;
+  batcher_ = std::thread([this] { batcher_main(); });
+}
+
+void SolveService::shutdown() {
+  std::lock_guard lk(lifecycle_mu_);
+  if (!accepting_.exchange(false, std::memory_order_acq_rel) &&
+      !batcher_.joinable()) {
+    return;  // already shut down
+  }
+  // Barrier: any submit that saw accepting_ == true holds a shard lock
+  // until its push lands; passing through every lock here means the
+  // queues are final before the drain begins.
+  for (auto& s : shards_) {
+    std::lock_guard shard_lk(s->mu);
+  }
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  if (batcher_.joinable()) {
+    batcher_.join();
+  } else {
+    // Never started (auto_start = false and start() never called): drain
+    // inline so every accepted future is still fulfilled.
+    batcher_main();
+  }
+}
+
+std::uint64_t SolveService::batches_launched() const noexcept {
+  return batches_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::requests_completed() const noexcept {
+  return completed_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::requests_expired() const noexcept {
+  return expired_.load(std::memory_order_relaxed);
+}
+
+void SolveService::drain_shards(std::vector<Pending>& backlog) {
+  for (auto& s : shards_) {
+    std::lock_guard lk(s->mu);
+    while (!s->q.empty()) {
+      backlog.push_back(std::move(s->q.front()));
+      s->q.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SolveService::fulfill_unran(Pending& p, tridiag::SolveCode code) {
+  const auto now = Clock::now();
+  SolveResult r;
+  r.code = code;
+  r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
+  r.latency_us = us_between(p.arrival, now);
+  r.queue_us = r.latency_us;
+  h_latency_.record(r.latency_us);
+  p.promise.set_value(std::move(r));
+}
+
+void SolveService::expire_overdue(std::vector<Pending>& backlog,
+                                  Clock::time_point now) {
+  auto dead = std::stable_partition(
+      backlog.begin(), backlog.end(),
+      [now](const Pending& p) { return !p.has_deadline || now < p.deadline; });
+  for (auto it = dead; it != backlog.end(); ++it) {
+    // Tally before fulfilling: a client woken by the future must already
+    // see itself in requests_expired().
+    m_expired_.add();
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    fulfill_unran(*it, tridiag::SolveCode::deadline);
+  }
+  backlog.erase(dead, backlog.end());
+}
+
+void SolveService::dispatch(std::vector<Pending> group) {
+  const std::size_t m = group.size();
+  const std::size_t n = group.front().req.system.size();
+  const std::uint64_t batch_id =
+      batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  m_batches_.add();
+  if (m == 1) m_solo_batches_.add();
+  h_batch_size_.record(static_cast<double>(m));
+  obs::gauge("service.batch.occupancy", static_cast<double>(m));
+
+  auto& tracer = obs::SpanTracer::instance();
+  obs::SpanScope batch_span("service.batch");
+  batch_span.attr("n", obs::JsonValue(static_cast<double>(n)));
+  batch_span.attr("occupancy", obs::JsonValue(static_cast<double>(m)));
+  batch_span.attr("solver", obs::JsonValue(gpu::solver_name(cfg_.solver)));
+
+  const auto admit = Clock::now();
+  const tridiag::Layout layout = coalesced_layout(m, n);
+  tridiag::SystemBatch<double> batch(m, n, layout);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& sys = group[j].req.system;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = batch.index(j, i);
+      batch.a()[at] = sys.a()[i];
+      batch.b()[at] = sys.b()[i];
+      batch.c()[at] = sys.c()[i];
+      batch.d()[at] = sys.d()[i];
+    }
+  }
+
+  gpu::SolverRunOptions opts;
+  opts.guard = cfg_.guard;
+  opts.fallback = cfg_.fallback;
+  tridiag::SystemBatch<double> solution;  // written only if a solve ran
+  const auto outcome =
+      gpu::run_solver(cfg_.solver, cfg_.device, batch, opts, &solution);
+  // run_solver hands out a solution whenever the solve actually ran —
+  // including functional_only runs that report supported == false for
+  // lack of timing. A pristine (empty) solution batch means the
+  // configuration was rejected or the launch failed before running.
+  const bool solved = solution.num_systems() == m;
+  const tridiag::SolveCode unran_code =
+      outcome.launch_failed ? tridiag::SolveCode::launch_failed
+                            : tridiag::SolveCode::bad_argument;
+  h_solve_us_.record(outcome.time_us);
+
+  const auto done = Clock::now();
+  for (std::size_t j = 0; j < m; ++j) {
+    Pending& p = group[j];
+    SolveResult r;
+    r.batch_id = batch_id;
+    r.batch_size = m;
+    r.solve_us = outcome.time_us;
+    r.queue_us = us_between(p.arrival, admit);
+    r.latency_us = us_between(p.arrival, done);
+    if (solved) {
+      const auto x = solution.system(j).d;
+      r.x.resize(n);
+      for (std::size_t i = 0; i < n; ++i) r.x[i] = x[i];
+      if (outcome.status.size() == m) {
+        r.code = outcome.status[j].code;
+        r.pivot_growth = outcome.status[j].pivot_growth;
+      }
+    } else {
+      r.code = unran_code;
+      r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
+    }
+    // In-flight expiry: the answer is delivered but late — upgrade an ok
+    // verdict to timed_out; a more severe per-system code is kept.
+    if (p.has_deadline && done >= p.deadline &&
+        tridiag::solve_code_severity(r.code) <
+            tridiag::solve_code_severity(tridiag::SolveCode::timed_out)) {
+      r.code = tridiag::SolveCode::timed_out;
+    }
+    h_queue_.record(r.queue_us);
+    h_latency_.record(r.latency_us);
+    m_completed_.add();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracer.enabled() && batch_span.id() != 0) {
+      obs::Span child;
+      child.id = tracer.reserve_id();
+      child.parent = batch_span.id();
+      child.name = "service.request";
+      child.wall_t0_us = p.wall_submit_us >= 0.0
+                             ? p.wall_submit_us
+                             : tracer.now_wall_us() - r.latency_us;
+      child.wall_t1_us = tracer.now_wall_us();
+      child.sim_t0_us = tracer.sim_now();
+      child.sim_t1_us = tracer.sim_now();
+      child.thread_ordinal = tracer.thread_ordinal();
+      child.attrs.emplace_back("seq",
+                               obs::JsonValue(static_cast<double>(p.seq)));
+      child.attrs.emplace_back("code",
+                               obs::JsonValue(tridiag::solve_code_name(r.code)));
+      tracer.emit(std::move(child));
+    }
+    p.promise.set_value(std::move(r));
+  }
+}
+
+void SolveService::batcher_main() {
+  std::vector<Pending> backlog;
+  const auto window = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(cfg_.batch_window_us));
+  for (;;) {
+    drain_shards(backlog);
+    const auto now = Clock::now();
+    expire_overdue(backlog, now);
+    obs::gauge("service.queue.depth", static_cast<double>(backlog.size()));
+
+    if (backlog.empty()) {
+      if (stop_.load(std::memory_order_acquire) &&
+          queued_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      std::unique_lock lk(wake_mu_);
+      wake_cv_.wait(lk, [this] {
+        return queued_.load(std::memory_order_acquire) > 0 ||
+               stop_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
+
+    // Open the batch at the oldest pending request; every compatible
+    // (same N) request joins its group.
+    const auto oldest = std::min_element(
+        backlog.begin(), backlog.end(),
+        [](const Pending& a, const Pending& b) { return a.seq < b.seq; });
+    const std::size_t n = oldest->req.system.size();
+    std::size_t group_size = 0;
+    auto close = oldest->arrival + window;
+    for (const Pending& p : backlog) {
+      if (p.req.system.size() != n) continue;
+      ++group_size;
+      // Deadline-aware admission: never hold the window past the point
+      // where a member would expire in-queue.
+      if (p.has_deadline && p.deadline < close) close = p.deadline;
+    }
+
+    const bool admit = stop_.load(std::memory_order_acquire) ||
+                       group_size >= cfg_.max_batch || now >= close;
+    if (!admit) {
+      std::unique_lock lk(wake_mu_);
+      wake_cv_.wait_until(lk, close, [this] {
+        return queued_.load(std::memory_order_acquire) > 0 ||
+               stop_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
+
+    // Pull the group out of the backlog (stable: preserves drain order),
+    // then order admission by (priority desc, submission order) and cap
+    // at max_batch; overflow members stay queued for the next batch.
+    std::vector<Pending> group;
+    group.reserve(group_size);
+    auto keep = backlog.begin();
+    for (auto it = backlog.begin(); it != backlog.end(); ++it) {
+      if (it->req.system.size() == n) {
+        group.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    backlog.erase(keep, backlog.end());
+    std::sort(group.begin(), group.end(), [](const Pending& a,
+                                             const Pending& b) {
+      if (a.req.priority != b.req.priority) {
+        return a.req.priority > b.req.priority;
+      }
+      return a.seq < b.seq;
+    });
+    while (group.size() > cfg_.max_batch) {
+      backlog.push_back(std::move(group.back()));
+      group.pop_back();
+    }
+    dispatch(std::move(group));
+  }
+}
+
+}  // namespace tridsolve::service

@@ -1,0 +1,200 @@
+#pragma once
+// Front-door solve service: dynamic batch coalescing for small requests.
+//
+// The paper's central performance result (Fig. 12) is that the GPU only
+// wins in the large-batch regime — time is flat in M until the machine
+// saturates, so a solo N-row solve wastes almost the whole device. A
+// service with millions of small independent clients therefore must not
+// launch per request: it must coalesce many compatible requests into one
+// large interleaved batch and ride the flat part of the curve. That is
+// exactly what SolveService does:
+//
+//   submit() ──► mutex-sharded queues ──► batcher thread ──► registry
+//     (any thread)    (one per shard)    (coalesce + admit)  (PlanCache)
+//                                              │
+//   future<SolveResult> ◄── scatter per-request code/latency/solution
+//
+// Coalescing rules: requests are compatible when they agree on system
+// size N and element size (double today). The batcher opens a batch at
+// the oldest pending request and admits every compatible request that
+// arrives within `batch_window_us` of it, capped at `max_batch`; the
+// window closes early when the batch fills, when shutdown drains, or
+// when waiting longer would expire a member's deadline. Admission order
+// is (priority desc, submission order) — deterministic for a quiesced
+// queue.
+//
+// Deadline semantics (per request, wall time from submit; 0 = none):
+//   * expires in-queue — the request is never dispatched; its future is
+//     fulfilled with SolveCode::deadline and the pristine right-hand
+//     side, exactly like the resilient pipeline's budget-exhausted
+//     partial results.
+//   * expires in-flight — the solved solution is still delivered, but
+//     an `ok` code is upgraded to SolveCode::timed_out (the answer is
+//     late; per the taxonomy, results past budget are suspect). A more
+//     severe per-system code is kept instead.
+//
+// Determinism contract: a batch assembled from requests r_0..r_{M-1} (in
+// admission order) solves bit-identically to a direct run_solver call on
+// the same M x N batch with the same options — the service adds gather/
+// scatter copies and no arithmetic. Pinned by tests/test_service.cpp for
+// every solver kind, solo and coalesced.
+//
+// Thread-safety: submit() is safe from any thread; one batcher thread
+// owns admission and dispatch. shutdown() (and the destructor) stops
+// intake, drains every queued request — every future is fulfilled, none
+// lost — and joins the batcher.
+//
+// Observability (all through the process-wide registry; names documented
+// in docs/SERVICE.md): counters service.requests.{submitted,completed,
+// expired,rejected}, service.batches, service.batches.solo; gauges
+// service.queue.depth, service.batch.occupancy; histograms
+// service.request.latency_us, service.request.queue_us,
+// service.batch.size, service.batch.solve_us. With span tracing enabled
+// (--spans-json) every batch emits a `service.batch` span with one
+// `service.request` child per member.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gpu_solvers/registry.hpp"
+#include "gpusim/device_spec.hpp"
+#include "obs/metrics.hpp"
+#include "tridiag/layout.hpp"
+#include "tridiag/types.hpp"
+
+namespace tridsolve::service {
+
+/// Service-wide knobs (fixed at construction). Units are stated per
+/// field; docs/SERVICE.md is the operator reference for tuning them.
+struct ServiceConfig {
+  /// Coalescing window in wall microseconds, measured from the arrival
+  /// of the oldest request in the open batch. Larger windows build
+  /// bigger batches (higher throughput, Fig. 12 regime) at the cost of
+  /// added p50 latency; 0 dispatches every request as it is seen.
+  double batch_window_us = 200.0;
+  /// Admission cap: at most this many requests ride one launch.
+  std::size_t max_batch = 4096;
+  /// Submission queue shards (submit() round-robins across them so
+  /// concurrent clients do not serialize on one mutex). Min 1.
+  std::size_t shards = 8;
+  /// Solver every batch is dispatched through (the registry picks the
+  /// plan per coalesced shape via the PlanCache).
+  gpu::SolverKind solver = gpu::SolverKind::hybrid;
+  /// Per-system guarding: record a SolveCode per request (pivot guards
+  /// plus the registry's post-hoc scan). Off = every delivered request
+  /// reports ok and the service trusts the kernel blindly.
+  bool guard = true;
+  /// Re-solve flagged systems with pivoting LU from pristine inputs
+  /// before delivering (implies guard).
+  bool fallback = false;
+  /// Start the batcher thread in the constructor. Tests set false and
+  /// call start() after staging requests, making admission
+  /// deterministic.
+  bool auto_start = true;
+  /// Simulated device every batch launches on.
+  gpusim::DeviceSpec device = gpusim::gtx480();
+};
+
+/// One client request: an owned N-row system plus its SLO.
+struct SolveRequest {
+  tridiag::TridiagSystem<double> system;
+  /// Wall-clock budget in microseconds from submit(); 0 = no deadline.
+  double deadline_us = 0.0;
+  /// Higher priority admits first when a window oversubscribes.
+  int priority = 0;
+};
+
+/// What a client gets back, one per request.
+struct SolveResult {
+  tridiag::SolveCode code = tridiag::SolveCode::ok;
+  /// Solution vector (length N). For requests that never ran (expired
+  /// in-queue, rejected, failed launch) this is the pristine rhs — the
+  /// service never hands back partially-eliminated garbage.
+  std::vector<double> x;
+  double latency_us = 0.0;   ///< submit → fulfillment, wall
+  double queue_us = 0.0;     ///< submit → admission, wall (== latency_us
+                             ///< for requests that expired in-queue)
+  double solve_us = 0.0;     ///< simulated time of the batch it rode
+  std::uint64_t batch_id = 0;  ///< 1-based; 0 = never admitted
+  std::size_t batch_size = 0;  ///< occupancy of its coalesced launch
+  double pivot_growth = 1.0;   ///< per-system guard estimate (1.0 unguarded)
+};
+
+/// Layout the batcher assembles a coalesced M x N batch in: interleaved
+/// when the planned transition point is k = 0 (pure p-Thomas wants
+/// coalesced columns), contiguous when tiled PCR leads — the same rule
+/// the paper-reproduction benches use. Exposed so tests can build the
+/// exact twin batch for bitwise comparison.
+[[nodiscard]] tridiag::Layout coalesced_layout(std::size_t m, std::size_t n);
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig cfg = {});
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueue one request. Returns immediately; the future is fulfilled
+  /// by the batcher. After shutdown() the request is rejected: the
+  /// future is ready at once with SolveCode::bad_argument and the
+  /// pristine rhs. Empty systems are rejected with SolveCode::bad_size.
+  std::future<SolveResult> submit(SolveRequest req);
+
+  /// Launch the batcher thread (no-op when already running). Only
+  /// needed with auto_start = false.
+  void start();
+
+  /// Stop intake, drain every queued request (all futures fulfilled),
+  /// join the batcher. Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// Lifetime tallies of this instance (the registry metrics aggregate
+  /// across instances; tests want per-service numbers).
+  [[nodiscard]] std::uint64_t batches_launched() const noexcept;
+  [[nodiscard]] std::uint64_t requests_completed() const noexcept;
+  [[nodiscard]] std::uint64_t requests_expired() const noexcept;
+
+ private:
+  struct Pending;
+  struct Shard;
+
+  void batcher_main();
+  void drain_shards(std::vector<Pending>& backlog);
+  void expire_overdue(std::vector<Pending>& backlog,
+                      std::chrono::steady_clock::time_point now);
+  void dispatch(std::vector<Pending> group);
+  void fulfill_unran(Pending& p, tridiag::SolveCode code);
+
+  ServiceConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::thread batcher_;
+  std::mutex lifecycle_mu_;  ///< serializes start()/shutdown()
+
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+
+  // Metric handles resolved once (hot submit/dispatch paths).
+  obs::MetricsRegistry::Counter m_submitted_, m_completed_, m_expired_,
+      m_rejected_, m_batches_, m_solo_batches_;
+  obs::MetricsRegistry::Histogram h_latency_, h_queue_, h_batch_size_,
+      h_solve_us_;
+};
+
+}  // namespace tridsolve::service

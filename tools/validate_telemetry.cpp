@@ -48,6 +48,11 @@
 // PlanSource name, `plan_cached` 0/1, `plan_k` >= 0, `plan_variant` a
 // string and `plan_c` >= 1.
 //
+// The service block (written by bench_service, one record per sweep
+// point of the saturation curve) is all-or-nothing too: the eleven
+// `service_*` numbers >= 0, `service_requests` >= 1, expired bounded by
+// requests, mean occupancy <= max occupancy and p50 <= p99.
+//
 // Calibration-file checks (--plan, written by bench_autotune --out):
 // schema tridsolve-plan-v1, device name plus decimal-string fingerprint,
 // and per-plan shape/variant sanity (2^k must fit n, concrete variant,
@@ -306,6 +311,48 @@ std::size_t validate_jsonl(const std::string& path) {
       if (require_number(rec, "plan_k", where) < 0) fail(where + ": plan_k < 0");
       require_string(rec, "plan_variant", where);
       if (require_number(rec, "plan_c", where) < 1) fail(where + ": plan_c < 1");
+    }
+
+    // Service saturation block (bench_service records): written together
+    // per sweep point — all-or-nothing like the other blocks, with
+    // internal consistency (expired bounded by requests, ordered
+    // occupancy and latency quantiles).
+    static constexpr const char* service_keys[] = {
+        "service_offered_rps",    "service_achieved_rps",
+        "service_requests",       "service_expired",
+        "service_batches",        "service_occupancy_mean",
+        "service_occupancy_max",  "service_p50_us",
+        "service_p99_us",         "service_batched_sim_us",
+        "service_solo_sim_us"};
+    bool has_svc_any = false, has_svc_all = true;
+    for (const char* key : service_keys) {
+      if (rec.find(key)) has_svc_any = true;
+      else has_svc_all = false;
+    }
+    if (has_svc_any) {
+      if (!has_svc_all) {
+        fail(where + ": partial service block (need all of service_{offered_"
+             "rps,achieved_rps,requests,expired,batches,occupancy_mean,"
+             "occupancy_max,p50_us,p99_us,batched_sim_us,solo_sim_us})");
+      }
+      for (const char* key : service_keys) {
+        if (require_number(rec, key, where) < 0) {
+          fail(where + ": \"" + std::string(key) + "\" < 0");
+        }
+      }
+      const double requests = require_number(rec, "service_requests", where);
+      if (requests < 1) fail(where + ": service_requests < 1");
+      if (require_number(rec, "service_expired", where) > requests) {
+        fail(where + ": service_expired > service_requests");
+      }
+      if (require_number(rec, "service_occupancy_mean", where) >
+          require_number(rec, "service_occupancy_max", where)) {
+        fail(where + ": service_occupancy_mean > service_occupancy_max");
+      }
+      if (require_number(rec, "service_p50_us", where) >
+          require_number(rec, "service_p99_us", where)) {
+        fail(where + ": service_p50_us > service_p99_us");
+      }
     }
 
     // Roofline attribution: a bench_profile per-phase record carries the
