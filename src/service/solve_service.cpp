@@ -18,6 +18,16 @@ using Clock = std::chrono::steady_clock;
   return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
+/// How far before the earliest member deadline a deadline-driven window
+/// closes. Closing at exactly the deadline is self-defeating: the wait
+/// wakes at >= deadline and the next loop iteration expires the member
+/// before the admission check ever runs, so the request that shrank the
+/// window is deterministically returned SolveCode::deadline even under
+/// zero load. The margin must cover condition-variable wake latency plus
+/// one drain/expire pass; requests whose whole deadline is shorter than
+/// the margin simply dispatch on the first iteration that sees them.
+constexpr auto kDeadlineDispatchMargin = std::chrono::microseconds(200);
+
 }  // namespace
 
 tridiag::Layout coalesced_layout(std::size_t m, std::size_t n) {
@@ -117,6 +127,13 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
   }
   queued_.fetch_add(1, std::memory_order_release);
   m_submitted_.add();
+  {
+    // Pass through wake_mu_ between the queued_ update and the notify so
+    // the increment cannot slip between the batcher's predicate check and
+    // its block — without this the notify can be missed and a lone
+    // request waits for the next submit (lost wakeup).
+    std::lock_guard wake_lk(wake_mu_);
+  }
   wake_cv_.notify_one();
   return future;
 }
@@ -140,6 +157,12 @@ void SolveService::shutdown() {
     std::lock_guard shard_lk(s->mu);
   }
   stop_.store(true, std::memory_order_release);
+  {
+    // Same lost-wakeup guard as submit(): the stop_ store must not land
+    // between the batcher's predicate check and its (untimed) block, or
+    // join() below hangs forever.
+    std::lock_guard wake_lk(wake_mu_);
+  }
   wake_cv_.notify_all();
   if (batcher_.joinable()) {
     batcher_.join();
@@ -178,6 +201,7 @@ void SolveService::fulfill_unran(Pending& p, tridiag::SolveCode code) {
   r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
   r.latency_us = us_between(p.arrival, now);
   r.queue_us = r.latency_us;
+  h_queue_.record(r.queue_us);
   h_latency_.record(r.latency_us);
   p.promise.set_value(std::move(r));
 }
@@ -333,8 +357,13 @@ void SolveService::batcher_main() {
       if (p.req.system.size() != n) continue;
       ++group_size;
       // Deadline-aware admission: never hold the window past the point
-      // where a member would expire in-queue.
-      if (p.has_deadline && p.deadline < close) close = p.deadline;
+      // where a member would expire in-queue. Close a dispatch margin
+      // early so the member is launched, not expired, when the wait
+      // wakes (see kDeadlineDispatchMargin).
+      if (p.has_deadline) {
+        const auto latest = p.deadline - kDeadlineDispatchMargin;
+        if (latest < close) close = latest;
+      }
     }
 
     const bool admit = stop_.load(std::memory_order_acquire) ||

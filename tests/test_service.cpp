@@ -63,6 +63,45 @@ TEST(SolveService, InQueueExpiryReturnsDeadlineWithPristineInputs) {
   svc.shutdown();
 }
 
+// A deadline inside a long batch window must shorten the window and get
+// the request *dispatched*, not expired: the window closes a dispatch
+// margin before the deadline precisely so the wake-up lands on the admit
+// path instead of expire_overdue (docs/SERVICE.md § tuning).
+TEST(SolveService, DeadlineInsideWindowDispatchesInsteadOfExpiring) {
+  service::ServiceConfig cfg;
+  cfg.batch_window_us = 10'000'000.0;  // 10 s: deadline must cut it short
+  const auto sys = make_system(64, 13);
+  service::SolveService svc(cfg);
+  service::SolveRequest req = request_for(sys);
+  req.deadline_us = 25'000.0;  // well past the margin, well short of window
+  auto fut = svc.submit(std::move(req));
+  const auto r = fut.get();
+  EXPECT_NE(r.code, tridiag::SolveCode::deadline)
+      << "a lone request must ride the deadline-shortened window, not "
+         "expire at its close";
+  EXPECT_NE(r.batch_id, 0u);
+  ASSERT_EQ(r.x.size(), sys.size());
+  EXPECT_EQ(svc.requests_expired(), 0u);
+  EXPECT_EQ(svc.batches_launched(), 1u);
+  svc.shutdown();
+}
+
+// A lone submit against an idle batcher must wake it: the notify in
+// submit() synchronizes through wake_mu_, so the future resolves without
+// any follow-up traffic (regression: lost-wakeup race).
+TEST(SolveService, LoneSubmitWakesIdleBatcher) {
+  service::ServiceConfig cfg;
+  cfg.batch_window_us = 0.0;
+  service::SolveService svc(cfg);
+  // Give the batcher time to reach its idle (untimed) wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  auto fut = svc.submit(request_for(make_system(64, 17)));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+      << "batcher never woke for a lone submit";
+  EXPECT_EQ(fut.get().code, tridiag::SolveCode::ok);
+  svc.shutdown();
+}
+
 TEST(SolveService, IncompatibleShapesNeverCoalesce) {
   service::SolveService svc(paused_config());
   std::vector<std::future<service::SolveResult>> futures;
