@@ -1,0 +1,76 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace tridsolve::service {
+
+ShedPolicy parse_shed_policy(std::string_view tok) {
+  std::string norm(tok);
+  std::replace(norm.begin(), norm.end(), '_', '-');
+  if (norm == "reject-newest") return ShedPolicy::reject_newest;
+  if (norm == "reject-lowest-priority") return ShedPolicy::reject_lowest_priority;
+  if (norm == "brownout") return ShedPolicy::brownout;
+  throw std::invalid_argument(
+      "unknown shed policy \"" + std::string(tok) +
+      "\" (expected reject-newest|reject-lowest-priority|brownout)");
+}
+
+bool AdmissionController::try_reserve(std::size_t bytes) noexcept {
+  if (cfg_.max_queue > 0) {
+    const std::size_t prev = depth_.fetch_add(1, std::memory_order_acq_rel);
+    if (prev >= cfg_.max_queue) {
+      depth_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+    // prev + 1 counts only admitted requests, so the recorded peak is a
+    // proof the depth bound held (transient fetch_add overshoot from
+    // concurrent losers never lands here).
+    std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+    while (prev + 1 > peak && !peak_depth_.compare_exchange_weak(
+                                  peak, prev + 1, std::memory_order_relaxed)) {
+    }
+  } else {
+    const std::size_t now = depth_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::size_t peak = peak_depth_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_depth_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  if (cfg_.max_queue_bytes > 0) {
+    const std::size_t prev = bytes_.fetch_add(bytes, std::memory_order_acq_rel);
+    if (prev + bytes > cfg_.max_queue_bytes) {
+      bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+      depth_.fetch_sub(1, std::memory_order_acq_rel);
+      return false;
+    }
+  } else {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void AdmissionController::release(std::size_t bytes) noexcept {
+  depth_.fetch_sub(1, std::memory_order_acq_rel);
+  bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+}
+
+void AdmissionController::observe_batch_latency(double us) noexcept {
+  if (!(us >= 0.0)) return;
+  const double alpha = std::clamp(cfg_.ewma_alpha, 0.0, 1.0);
+  const double prev = ewma_us_.load(std::memory_order_relaxed);
+  const double next = prev <= 0.0 ? us : alpha * us + (1.0 - alpha) * prev;
+  // The batcher is the only writer; a plain store is race-free and keeps
+  // concurrent submit-side readers tear-free.
+  ewma_us_.store(next, std::memory_order_relaxed);
+}
+
+double AdmissionController::estimated_delay_us(
+    std::size_t max_batch) const noexcept {
+  const double ewma = ewma_us_.load(std::memory_order_relaxed);
+  if (ewma <= 0.0) return 0.0;
+  const std::size_t cap = std::max<std::size_t>(1, max_batch);
+  const std::size_t waves = 1 + depth_.load(std::memory_order_relaxed) / cap;
+  return ewma * static_cast<double>(waves);
+}
+
+}  // namespace tridsolve::service

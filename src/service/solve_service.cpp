@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <numeric>
 #include <utility>
 
 #include "gpu_solvers/transition.hpp"
 #include "obs/span_tracer.hpp"
+#include "tridiag/resilient_solve.hpp"
 
 namespace tridsolve::service {
 
@@ -24,9 +26,19 @@ using Clock = std::chrono::steady_clock;
 /// before the admission check ever runs, so the request that shrank the
 /// window is deterministically returned SolveCode::deadline even under
 /// zero load. The margin must cover condition-variable wake latency plus
-/// one drain/expire pass; requests whose whole deadline is shorter than
-/// the margin simply dispatch on the first iteration that sees them.
-constexpr auto kDeadlineDispatchMargin = std::chrono::microseconds(200);
+/// one drain/expire pass — including on a loaded machine under
+/// sanitizer instrumentation, where a wake can take well over 200us to
+/// reach the expiry check; requests whose whole deadline is shorter
+/// than the margin simply dispatch on the first iteration that sees
+/// them. Closing early is always safe (the batch merely coalesces a
+/// hair less); expiring a dispatchable request is not.
+constexpr auto kDeadlineDispatchMargin = std::chrono::microseconds(1000);
+
+/// Queue-bytes charged per request: the four coefficient arrays it holds
+/// until dispatch gathers them into the coalesced batch.
+[[nodiscard]] std::size_t queued_bytes(std::size_t n) noexcept {
+  return 4 * n * sizeof(double);
+}
 
 }  // namespace
 
@@ -47,6 +59,17 @@ struct SolveService::Pending {
   Clock::time_point arrival{};
   Clock::time_point deadline{};  ///< meaningful only when has_deadline
   bool has_deadline = false;
+  /// Admission reservation held (released at dispatch extraction,
+  /// expiry, or eviction — never while still queued, so the depth bound
+  /// also covers the batcher's backlog).
+  std::size_t bytes = 0;
+  /// Provenance carried across bisection re-dispatches: attempts and
+  /// simulated time already spent on this request by earlier failed
+  /// dispatches, and whether any of them failed (feeds
+  /// SolveResult::recovered when a later dispatch succeeds).
+  std::uint32_t prior_attempts = 0;
+  double prior_solve_us = 0.0;
+  bool saw_failure = false;
   /// Submit timestamp on the tracer's wall clock; < 0 when tracing was
   /// off at submit time (child spans then start at batch start).
   double wall_submit_us = -1.0;
@@ -59,23 +82,39 @@ struct SolveService::Shard {
 
 SolveService::SolveService(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
+      admission_(cfg_.admission),
+      breaker_(cfg_.breaker),
       m_submitted_(obs::counter_handle("service.requests.submitted")),
       m_completed_(obs::counter_handle("service.requests.completed")),
       m_expired_(obs::counter_handle("service.requests.expired")),
       m_rejected_(obs::counter_handle("service.requests.rejected")),
+      m_shed_(obs::counter_handle("service.requests.shed")),
+      m_retried_(obs::counter_handle("service.requests.retried")),
+      m_degraded_(obs::counter_handle("service.requests.degraded")),
+      m_quarantined_(obs::counter_handle("service.requests.quarantined")),
       m_batches_(obs::counter_handle("service.batches")),
       m_solo_batches_(obs::counter_handle("service.batches.solo")),
+      m_bisected_batches_(obs::counter_handle("service.batches.bisected")),
       h_latency_(obs::histogram_handle("service.request.latency_us")),
       h_queue_(obs::histogram_handle("service.request.queue_us")),
       h_batch_size_(obs::histogram_handle("service.batch.size")),
       h_solve_us_(obs::histogram_handle("service.batch.solve_us")) {
   if (cfg_.shards == 0) cfg_.shards = 1;
-  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
-  if (cfg_.batch_window_us < 0.0) cfg_.batch_window_us = 0.0;
+  // Structural validation: a nonsensical knob must reject loudly, not be
+  // silently rewritten into a service the operator did not configure.
+  if (cfg_.max_batch == 0) {
+    config_error_ = "ServiceConfig.max_batch must be >= 1";
+  } else if (!(cfg_.batch_window_us >= 0.0)) {
+    config_error_ = "ServiceConfig.batch_window_us must be >= 0";
+  } else if (!(cfg_.admission.ewma_alpha > 0.0) ||
+             cfg_.admission.ewma_alpha > 1.0) {
+    config_error_ = "AdmissionConfig.ewma_alpha must be in (0, 1]";
+  }
   shards_.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (!config_error_.empty()) return;  // rejecting state: never accepts
   accepting_.store(true, std::memory_order_release);
   if (cfg_.auto_start) start();
 }
@@ -86,6 +125,14 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
   std::promise<SolveResult> promise;
   auto future = promise.get_future();
 
+  if (!config_error_.empty()) {
+    m_rejected_.add();
+    SolveResult r;
+    r.code = tridiag::SolveCode::bad_argument;
+    r.x.assign(req.system.d().begin(), req.system.d().end());
+    promise.set_value(std::move(r));
+    return future;
+  }
   if (req.system.size() == 0) {
     m_rejected_.add();
     SolveResult r;
@@ -98,6 +145,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
   p.req = std::move(req);
   p.promise = std::move(promise);
   p.arrival = Clock::now();
+  p.bytes = queued_bytes(p.req.system.size());
   if (p.req.deadline_us > 0.0) {
     p.has_deadline = true;
     p.deadline = p.arrival + std::chrono::duration_cast<Clock::duration>(
@@ -106,6 +154,36 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
   }
   auto& tracer = obs::SpanTracer::instance();
   if (tracer.enabled()) p.wall_submit_us = tracer.now_wall_us();
+
+  // Admission (docs/SERVICE.md § Overload & degradation). Brownout sheds
+  // up front when the estimated queue delay already eats the whole
+  // deadline: the request could only expire in-queue, and refusing it now
+  // is honest about that (and free).
+  if (cfg_.admission.policy == ShedPolicy::brownout && p.has_deadline &&
+      admission_.estimated_delay_us(cfg_.max_batch) > p.req.deadline_us) {
+    shed(p);
+    return future;
+  }
+  if (!admission_.try_reserve(p.bytes)) {
+    bool evicted = false;
+    switch (cfg_.admission.policy) {
+      case ShedPolicy::reject_newest:
+        break;
+      case ShedPolicy::reject_lowest_priority:
+        evicted = evict_lowest_priority(p.req.priority);
+        break;
+      case ShedPolicy::brownout:
+        evicted = evict_doomed(p.arrival);
+        break;
+    }
+    // The freed slot races against concurrent submitters; losing that
+    // race counts as a full queue again (bounds stay hard).
+    if (!evicted || !admission_.try_reserve(p.bytes)) {
+      p.bytes = 0;  // no reservation held
+      shed(p);
+      return future;
+    }
+  }
 
   const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   p.seq = seq;
@@ -116,6 +194,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
     // then passes through every shard lock, so after that barrier no
     // submit can still be mid-push — the drain loop sees everything.
     if (!accepting_.load(std::memory_order_acquire)) {
+      admission_.release(p.bytes);
       m_rejected_.add();
       SolveResult r;
       r.code = tridiag::SolveCode::bad_argument;
@@ -140,6 +219,7 @@ std::future<SolveResult> SolveService::submit(SolveRequest req) {
 
 void SolveService::start() {
   std::lock_guard lk(lifecycle_mu_);
+  if (!config_error_.empty()) return;
   if (batcher_.joinable() || stop_.load(std::memory_order_acquire)) return;
   batcher_ = std::thread([this] { batcher_main(); });
 }
@@ -148,7 +228,7 @@ void SolveService::shutdown() {
   std::lock_guard lk(lifecycle_mu_);
   if (!accepting_.exchange(false, std::memory_order_acq_rel) &&
       !batcher_.joinable()) {
-    return;  // already shut down
+    return;  // already shut down (or never accepted: rejected config)
   }
   // Barrier: any submit that saw accepting_ == true holds a shard lock
   // until its push lands; passing through every lock here means the
@@ -182,6 +262,24 @@ std::uint64_t SolveService::requests_completed() const noexcept {
 std::uint64_t SolveService::requests_expired() const noexcept {
   return expired_.load(std::memory_order_relaxed);
 }
+std::uint64_t SolveService::requests_shed() const noexcept {
+  return shed_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::requests_retried() const noexcept {
+  return retried_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::requests_degraded() const noexcept {
+  return degraded_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::requests_quarantined() const noexcept {
+  return quarantined_.load(std::memory_order_relaxed);
+}
+std::uint64_t SolveService::batches_bisected() const noexcept {
+  return bisections_.load(std::memory_order_relaxed);
+}
+std::size_t SolveService::peak_queue_depth() const noexcept {
+  return admission_.peak_depth();
+}
 
 void SolveService::drain_shards(std::vector<Pending>& backlog) {
   for (auto& s : shards_) {
@@ -201,9 +299,87 @@ void SolveService::fulfill_unran(Pending& p, tridiag::SolveCode code) {
   r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
   r.latency_us = us_between(p.arrival, now);
   r.queue_us = r.latency_us;
+  r.attempts = p.prior_attempts;
+  r.solve_us = p.prior_solve_us;
   h_queue_.record(r.queue_us);
   h_latency_.record(r.latency_us);
   p.promise.set_value(std::move(r));
+}
+
+void SolveService::shed(Pending& p) {
+  // Tally before fulfilling: a client woken by the future must already
+  // see itself in requests_shed().
+  m_shed_.add();
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  fulfill_unran(p, tridiag::SolveCode::overloaded);
+}
+
+bool SolveService::evict_lowest_priority(int incoming_priority) {
+  // The only multi-shard lock site, always in index order — cannot
+  // deadlock against single-shard submit pushes or the batcher's
+  // one-shard-at-a-time drain.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+  Shard* vs = nullptr;
+  std::size_t vi = 0;
+  const Pending* victim = nullptr;
+  for (auto& s : shards_) {
+    for (std::size_t i = 0; i < s->q.size(); ++i) {
+      const Pending& c = s->q[i];
+      if (c.req.priority >= incoming_priority) continue;
+      if (victim == nullptr || c.req.priority < victim->req.priority ||
+          (c.req.priority == victim->req.priority && c.seq > victim->seq)) {
+        vs = s.get();
+        vi = i;
+        victim = &c;
+      }
+    }
+  }
+  if (victim == nullptr) return false;
+  Pending evictee = std::move(vs->q[vi]);
+  vs->q.erase(vs->q.begin() +
+              static_cast<std::deque<Pending>::difference_type>(vi));
+  locks.clear();  // fulfill outside the shard locks
+  queued_.fetch_sub(1, std::memory_order_release);
+  admission_.release(evictee.bytes);
+  shed(evictee);
+  return true;
+}
+
+bool SolveService::evict_doomed(Clock::time_point now) {
+  const double est = admission_.estimated_delay_us(cfg_.max_batch);
+  if (est <= 0.0) return false;  // no latency signal yet — nobody is doomed
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& s : shards_) locks.emplace_back(s->mu);
+  Shard* vs = nullptr;
+  std::size_t vi = 0;
+  const Pending* victim = nullptr;
+  double victim_headroom = 0.0;
+  for (auto& s : shards_) {
+    for (std::size_t i = 0; i < s->q.size(); ++i) {
+      const Pending& c = s->q[i];
+      if (!c.has_deadline) continue;
+      const double headroom = us_between(now, c.deadline);
+      if (headroom >= est) continue;  // still expected to make it
+      if (victim == nullptr || headroom < victim_headroom) {
+        vs = s.get();
+        vi = i;
+        victim = &c;
+        victim_headroom = headroom;
+      }
+    }
+  }
+  if (victim == nullptr) return false;
+  Pending evictee = std::move(vs->q[vi]);
+  vs->q.erase(vs->q.begin() +
+              static_cast<std::deque<Pending>::difference_type>(vi));
+  locks.clear();
+  queued_.fetch_sub(1, std::memory_order_release);
+  admission_.release(evictee.bytes);
+  shed(evictee);
+  return true;
 }
 
 void SolveService::expire_overdue(std::vector<Pending>& backlog,
@@ -212,6 +388,7 @@ void SolveService::expire_overdue(std::vector<Pending>& backlog,
       backlog.begin(), backlog.end(),
       [now](const Pending& p) { return !p.has_deadline || now < p.deadline; });
   for (auto it = dead; it != backlog.end(); ++it) {
+    admission_.release(it->bytes);
     // Tally before fulfilling: a client woken by the future must already
     // see itself in requests_expired().
     m_expired_.add();
@@ -222,6 +399,24 @@ void SolveService::expire_overdue(std::vector<Pending>& backlog,
 }
 
 void SolveService::dispatch(std::vector<Pending> group) {
+  // Bisection halves re-enter here too, so a fault storm that trips the
+  // breaker mid-recovery degrades (or sheds) the remaining halves
+  // instead of hammering a failing engine — bounded work, structured
+  // results either way.
+  switch (breaker_.admit(Clock::now())) {
+    case CircuitBreaker::Gate::pass:
+      dispatch_batch(std::move(group));
+      return;
+    case CircuitBreaker::Gate::degrade:
+      dispatch_degraded(std::move(group));
+      return;
+    case CircuitBreaker::Gate::shed:
+      for (Pending& p : group) shed(p);
+      return;
+  }
+}
+
+void SolveService::dispatch_batch(std::vector<Pending> group) {
   const std::size_t m = group.size();
   const std::size_t n = group.front().req.system.size();
   const std::uint64_t batch_id =
@@ -255,38 +450,126 @@ void SolveService::dispatch(std::vector<Pending> group) {
   opts.guard = cfg_.guard;
   opts.fallback = cfg_.fallback;
   tridiag::SystemBatch<double> solution;  // written only if a solve ran
-  const auto outcome =
-      gpu::run_solver(cfg_.solver, cfg_.device, batch, opts, &solution);
-  // run_solver hands out a solution whenever the solve actually ran —
-  // including functional_only runs that report supported == false for
-  // lack of timing. A pristine (empty) solution batch means the
-  // configuration was rejected or the launch failed before running.
-  const bool solved = solution.num_systems() == m;
-  const tridiag::SolveCode unran_code =
-      outcome.launch_failed ? tridiag::SolveCode::launch_failed
-                            : tridiag::SolveCode::bad_argument;
-  h_solve_us_.record(outcome.time_us);
+  tridiag::BatchStatus status;
+  bool solved = false;
+  double solve_us = 0.0;
+  bool dispatch_failed = false;
+  tridiag::SolveCode unran_code = tridiag::SolveCode::bad_argument;
+
+  if (cfg_.resilient) {
+    tridiag::ResiliencePolicy policy = gpu::engine_resilience_policy();
+    if (cfg_.max_retries >= 0) policy.max_retries = cfg_.max_retries;
+    if (!cfg_.fallback_chain.empty()) {
+      policy.fallback_chain = cfg_.fallback_chain;
+    }
+    // Budget from the earliest member deadline: recovery must not keep
+    // burning simulated time past the point where the batch's most
+    // urgent rider is already late. (Engine --deadline-us still applies
+    // when it is tighter.)
+    for (const Pending& p : group) {
+      if (!p.has_deadline) continue;
+      const double remaining = std::max(1.0, us_between(admit, p.deadline));
+      if (policy.deadline_us <= 0.0 || remaining < policy.deadline_us) {
+        policy.deadline_us = remaining;
+      }
+    }
+    auto res = gpu::run_solver_resilient(cfg_.solver, cfg_.device, batch,
+                                         opts, policy, &solution);
+    // The resilient pipeline always hands out the assembled batch:
+    // solved d for every recovered system, pristine d otherwise.
+    solved = solution.num_systems() == m;
+    solve_us = res.outcome.time_us;
+    status = std::move(res.outcome.status);
+    for (const auto& a : res.report.attempts) {
+      if (a.reason == tridiag::SolveCode::launch_failed) {
+        dispatch_failed = true;
+        break;
+      }
+    }
+  } else {
+    const auto outcome =
+        gpu::run_solver(cfg_.solver, cfg_.device, batch, opts, &solution);
+    // run_solver hands out a solution whenever the solve actually ran —
+    // including functional_only runs that report supported == false for
+    // lack of timing. A pristine (empty) solution batch means the
+    // configuration was rejected or the launch failed before running.
+    solved = solution.num_systems() == m;
+    solve_us = outcome.time_us;
+    status = outcome.status;
+    dispatch_failed = outcome.launch_failed;
+    unran_code = outcome.launch_failed ? tridiag::SolveCode::launch_failed
+                                       : tridiag::SolveCode::bad_argument;
+  }
+  if (dispatch_failed) {
+    breaker_.record_failure(Clock::now());
+  } else {
+    breaker_.record_success();
+  }
+  h_solve_us_.record(solve_us);
+  const bool has_status = status.size() == m;
 
   const auto done = Clock::now();
+  // Feed the brownout delay estimate before fulfilling any future, so a
+  // caller that observes a completed request is guaranteed to also
+  // observe an EWMA that accounts for its batch.
+  admission_.observe_batch_latency(us_between(admit, done));
+
+  std::vector<Pending> redisp;  // launch-failed members to bisect
   for (std::size_t j = 0; j < m; ++j) {
     Pending& p = group[j];
+    const tridiag::SolveStatus live =
+        solved && has_status ? status[j] : tridiag::SolveStatus{};
+    const std::uint32_t own_attempts =
+        has_status && status.has_provenance() ? status.attempts(j)
+                                              : std::uint32_t{1};
+
+    if (cfg_.resilient && m > 1 &&
+        live.code == tridiag::SolveCode::launch_failed) {
+      // Blast-radius isolation: this member's launches kept failing
+      // inside the coalesced batch. Re-dispatch it in bisected halves
+      // from its pristine inputs so one poisoned request cannot fail its
+      // co-batched riders; a request that still fails alone is
+      // quarantined below on its solo pass.
+      p.prior_attempts += own_attempts;
+      p.prior_solve_us += solve_us;
+      p.saw_failure = true;
+      redisp.push_back(std::move(p));
+      continue;
+    }
+
     SolveResult r;
     r.batch_id = batch_id;
     r.batch_size = m;
-    r.solve_us = outcome.time_us;
+    r.solve_us = p.prior_solve_us + solve_us;
     r.queue_us = us_between(p.arrival, admit);
     r.latency_us = us_between(p.arrival, done);
+    r.attempts = p.prior_attempts + own_attempts;
     if (solved) {
       const auto x = solution.system(j).d;
       r.x.resize(n);
       for (std::size_t i = 0; i < n; ++i) r.x[i] = x[i];
-      if (outcome.status.size() == m) {
-        r.code = outcome.status[j].code;
-        r.pivot_growth = outcome.status[j].pivot_growth;
+      if (has_status) {
+        r.code = live.code;
+        r.pivot_growth = live.pivot_growth;
+        const tridiag::SolveCode det = status.detected(j).code;
+        r.recovered = live.code == tridiag::SolveCode::ok &&
+                      (p.saw_failure || tridiag::solve_code_severity(det) >
+                                            tridiag::solve_code_severity(
+                                                live.code));
       }
     } else {
       r.code = unran_code;
       r.x.assign(p.req.system.d().begin(), p.req.system.d().end());
+    }
+    if (cfg_.resilient && r.code == tridiag::SolveCode::launch_failed) {
+      // Solo and still failing after every retry and fallback stage:
+      // quarantined — pristine inputs go back with the structured code.
+      m_quarantined_.add();
+      quarantined_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (r.attempts > 1) {
+      m_retried_.add();
+      retried_.fetch_add(1, std::memory_order_relaxed);
     }
     // In-flight expiry: the answer is delivered but late — upgrade an ok
     // verdict to timed_out; a more severe per-system code is kept.
@@ -320,6 +603,119 @@ void SolveService::dispatch(std::vector<Pending> group) {
     }
     p.promise.set_value(std::move(r));
   }
+
+  if (!redisp.empty()) {
+    m_bisected_batches_.add();
+    bisections_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t half = (redisp.size() + 1) / 2;
+    std::vector<Pending> lo, hi;
+    lo.reserve(half);
+    hi.reserve(redisp.size() - half);
+    for (std::size_t j = 0; j < redisp.size(); ++j) {
+      (j < half ? lo : hi).push_back(std::move(redisp[j]));
+    }
+    // Strictly shrinking groups (half < m), so the recursion bottoms out
+    // at solo dispatches — which quarantine instead of re-splitting.
+    dispatch(std::move(lo));
+    if (!hi.empty()) dispatch(std::move(hi));
+  }
+}
+
+void SolveService::dispatch_degraded(std::vector<Pending> group) {
+  const std::size_t m = group.size();
+  const std::size_t n = group.front().req.system.size();
+  const std::uint64_t batch_id =
+      batches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  m_batches_.add();
+  if (m == 1) m_solo_batches_.add();
+  h_batch_size_.record(static_cast<double>(m));
+  obs::gauge("service.batch.occupancy", static_cast<double>(m));
+
+  auto& tracer = obs::SpanTracer::instance();
+  obs::SpanScope batch_span("service.batch");
+  batch_span.attr("n", obs::JsonValue(static_cast<double>(n)));
+  batch_span.attr("occupancy", obs::JsonValue(static_cast<double>(m)));
+  batch_span.attr("solver", obs::JsonValue("cpu-thomas"));
+  batch_span.attr("degraded", obs::JsonValue(true));
+
+  const auto admit = Clock::now();
+  const tridiag::Layout layout = coalesced_layout(m, n);
+  tridiag::SystemBatch<double> batch(m, n, layout);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto& sys = group[j].req.system;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = batch.index(j, i);
+      batch.a()[at] = sys.a()[i];
+      batch.b()[at] = sys.b()[i];
+      batch.c()[at] = sys.c()[i];
+      batch.d()[at] = sys.d()[i];
+    }
+  }
+
+  // Open breaker: the simulated GPU is presumed down, so solve on the
+  // host-Thomas stage — fault-immune, residual-gated, zero simulated
+  // time — and mark every result degraded.
+  tridiag::SystemBatch<double> dst = batch.clone();
+  tridiag::BatchStatus status(m);
+  std::vector<std::size_t> all(m);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  tridiag::host_thomas_stage<double>(batch, all, dst, status);
+  h_solve_us_.record(0.0);
+
+  const auto done = Clock::now();
+  for (std::size_t j = 0; j < m; ++j) {
+    Pending& p = group[j];
+    SolveResult r;
+    r.batch_id = batch_id;
+    r.batch_size = m;
+    r.solve_us = p.prior_solve_us;  // host stage charges no simulated time
+    r.queue_us = us_between(p.arrival, admit);
+    r.latency_us = us_between(p.arrival, done);
+    r.attempts = p.prior_attempts + status.attempts(j);
+    r.code = status[j].code;
+    r.pivot_growth = status[j].pivot_growth;
+    r.degraded = true;
+    r.recovered = r.code == tridiag::SolveCode::ok && p.saw_failure;
+    const auto x = dst.system(j).d;
+    r.x.resize(n);
+    for (std::size_t i = 0; i < n; ++i) r.x[i] = x[i];
+    if (r.attempts > 1) {
+      m_retried_.add();
+      retried_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (p.has_deadline && done >= p.deadline &&
+        tridiag::solve_code_severity(r.code) <
+            tridiag::solve_code_severity(tridiag::SolveCode::timed_out)) {
+      r.code = tridiag::SolveCode::timed_out;
+    }
+    h_queue_.record(r.queue_us);
+    h_latency_.record(r.latency_us);
+    m_completed_.add();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    m_degraded_.add();
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+
+    if (tracer.enabled() && batch_span.id() != 0) {
+      obs::Span child;
+      child.id = tracer.reserve_id();
+      child.parent = batch_span.id();
+      child.name = "service.request";
+      child.wall_t0_us = p.wall_submit_us >= 0.0
+                             ? p.wall_submit_us
+                             : tracer.now_wall_us() - r.latency_us;
+      child.wall_t1_us = tracer.now_wall_us();
+      child.sim_t0_us = tracer.sim_now();
+      child.sim_t1_us = tracer.sim_now();
+      child.thread_ordinal = tracer.thread_ordinal();
+      child.attrs.emplace_back("seq",
+                               obs::JsonValue(static_cast<double>(p.seq)));
+      child.attrs.emplace_back("code",
+                               obs::JsonValue(tridiag::solve_code_name(r.code)));
+      tracer.emit(std::move(child));
+    }
+    p.promise.set_value(std::move(r));
+  }
+  admission_.observe_batch_latency(us_between(admit, done));
 }
 
 void SolveService::batcher_main() {
@@ -327,8 +723,12 @@ void SolveService::batcher_main() {
   const auto window = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double, std::micro>(cfg_.batch_window_us));
   for (;;) {
-    drain_shards(backlog);
+    // Timestamp before draining: the drain walks every shard mutex, and
+    // charging that walk against queued deadlines would eat into the
+    // dispatch margin (expiry with a slightly stale clock only ever errs
+    // toward dispatching, never toward expiring early).
     const auto now = Clock::now();
+    drain_shards(backlog);
     expire_overdue(backlog, now);
     obs::gauge("service.queue.depth", static_cast<double>(backlog.size()));
 
@@ -402,6 +802,13 @@ void SolveService::batcher_main() {
     while (group.size() > cfg_.max_batch) {
       backlog.push_back(std::move(group.back()));
       group.pop_back();
+    }
+    // The members leave the bounded queue here — release their admission
+    // reservations only now, so the depth bound also covered the time
+    // they sat in this backlog (a hard cap, not a shard-queue-only one).
+    for (Pending& p : group) {
+      admission_.release(p.bytes);
+      p.bytes = 0;
     }
     dispatch(std::move(group));
   }

@@ -9,10 +9,13 @@
 // large interleaved batch and ride the flat part of the curve. That is
 // exactly what SolveService does:
 //
-//   submit() ──► mutex-sharded queues ──► batcher thread ──► registry
-//     (any thread)    (one per shard)    (coalesce + admit)  (PlanCache)
-//                                              │
-//   future<SolveResult> ◄── scatter per-request code/latency/solution
+//   submit() ──► admission ──► mutex-sharded queues ──► batcher thread
+//     (any thread)  (bounds      (one per shard)      (coalesce + admit)
+//                    + shedding)                             │
+//                                   breaker gate ──► resilient dispatch
+//                                  (open: degrade/shed)  (registry, PlanCache)
+//                                                            │
+//   future<SolveResult> ◄── scatter per-request code/latency/provenance
 //
 // Coalescing rules: requests are compatible when they agree on system
 // size N and element size (double today). The batcher opens a batch at
@@ -22,6 +25,26 @@
 // when waiting longer would expire a member's deadline. Admission order
 // is (priority desc, submission order) — deterministic for a quiesced
 // queue.
+//
+// Overload (docs/SERVICE.md § Overload & degradation): admission bounds
+// (cfg.admission) shed excess load at submit() with
+// SolveCode::overloaded and the pristine rhs — never a blocked or lost
+// future. The depth bound counts every admitted-but-undispatched request
+// (shard queues plus the batcher's backlog), so it is a hard cap on
+// queue growth, provable via peak_queue_depth().
+//
+// Faults: with cfg.resilient (the default) every batch dispatches
+// through run_solver_resilient — guarded solve, chunked retries from
+// pristine inputs, degradation down the fallback chain, and a simulated
+// budget derived from the earliest member deadline. A batch that stays
+// launch_failed after that is *bisected*: both halves re-dispatch from
+// pristine inputs so one poisoned request cannot fail its co-batched
+// riders; a request still failing alone is quarantined with its own
+// launch_failed code. Consecutive dispatch failures trip the circuit
+// breaker (cfg.breaker), which degrades whole batches to the
+// fault-immune host-Thomas stage (or sheds them) for a cooldown before
+// half-open probing. Per-request provenance lands on SolveResult:
+// attempts, recovered, degraded.
 //
 // Deadline semantics (per request, wall time from submit; 0 = none):
 //   * expires in-queue — the request is never dispatched; its future is
@@ -36,18 +59,22 @@
 // Determinism contract: a batch assembled from requests r_0..r_{M-1} (in
 // admission order) solves bit-identically to a direct run_solver call on
 // the same M x N batch with the same options — the service adds gather/
-// scatter copies and no arithmetic. Pinned by tests/test_service.cpp for
-// every solver kind, solo and coalesced.
+// scatter copies and no arithmetic (the resilient entry dispatch pins
+// the hybrid's k through the same PlanCache key a direct call plans
+// with). Pinned by tests/test_service.cpp for every solver kind, solo
+// and coalesced.
 //
 // Thread-safety: submit() is safe from any thread; one batcher thread
-// owns admission and dispatch. shutdown() (and the destructor) stops
-// intake, drains every queued request — every future is fulfilled, none
-// lost — and joins the batcher.
+// owns admission-to-batch and dispatch. shutdown() (and the destructor)
+// stops intake, drains every queued request — every future is fulfilled,
+// none lost — and joins the batcher.
 //
 // Observability (all through the process-wide registry; names documented
 // in docs/SERVICE.md): counters service.requests.{submitted,completed,
-// expired,rejected}, service.batches, service.batches.solo; gauges
-// service.queue.depth, service.batch.occupancy; histograms
+// expired,rejected,shed,retried,degraded,quarantined}, service.batches,
+// service.batches.solo, service.batches.bisected,
+// service.breaker.{trips,resets}; gauges service.queue.depth,
+// service.batch.occupancy, service.breaker.state; histograms
 // service.request.latency_us, service.request.queue_us,
 // service.batch.size, service.batch.solve_us. With span tracing enabled
 // (--spans-json) every batch emits a `service.batch` span with one
@@ -61,12 +88,15 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "gpu_solvers/registry.hpp"
 #include "gpusim/device_spec.hpp"
 #include "obs/metrics.hpp"
+#include "service/admission.hpp"
+#include "service/breaker.hpp"
 #include "tridiag/layout.hpp"
 #include "tridiag/types.hpp"
 
@@ -74,26 +104,36 @@ namespace tridsolve::service {
 
 /// Service-wide knobs (fixed at construction). Units are stated per
 /// field; docs/SERVICE.md is the operator reference for tuning them.
+/// Invalid combinations (max_batch == 0, negative batch_window_us) are
+/// rejected structurally: the service constructs into a rejecting state
+/// where every submit() resolves immediately with SolveCode::bad_argument
+/// and config_error() names the offending knob — never silent clamping
+/// of a nonsensical value.
 struct ServiceConfig {
   /// Coalescing window in wall microseconds, measured from the arrival
   /// of the oldest request in the open batch. Larger windows build
   /// bigger batches (higher throughput, Fig. 12 regime) at the cost of
   /// added p50 latency; 0 dispatches every request as it is seen.
+  /// Negative values are rejected (bad_argument).
   double batch_window_us = 200.0;
-  /// Admission cap: at most this many requests ride one launch.
+  /// Admission cap: at most this many requests ride one launch. Zero is
+  /// rejected (bad_argument) — it would make dispatch impossible.
   std::size_t max_batch = 4096;
   /// Submission queue shards (submit() round-robins across them so
-  /// concurrent clients do not serialize on one mutex). Min 1.
+  /// concurrent clients do not serialize on one mutex). Clamped to >= 1.
   std::size_t shards = 8;
   /// Solver every batch is dispatched through (the registry picks the
   /// plan per coalesced shape via the PlanCache).
   gpu::SolverKind solver = gpu::SolverKind::hybrid;
   /// Per-system guarding: record a SolveCode per request (pivot guards
   /// plus the registry's post-hoc scan). Off = every delivered request
-  /// reports ok and the service trusts the kernel blindly.
+  /// reports ok and the service trusts the kernel blindly. Implied by
+  /// `resilient` (the resilient pipeline always guards).
   bool guard = true;
   /// Re-solve flagged systems with pivoting LU from pristine inputs
-  /// before delivering (implies guard).
+  /// before delivering (implies guard). Only consulted on the
+  /// non-resilient dispatch path; the resilient path recovers through
+  /// its fallback chain instead.
   bool fallback = false;
   /// Start the batcher thread in the constructor. Tests set false and
   /// call start() after staging requests, making admission
@@ -101,6 +141,25 @@ struct ServiceConfig {
   bool auto_start = true;
   /// Simulated device every batch launches on.
   gpusim::DeviceSpec device = gpusim::gtx480();
+
+  /// Queue bounds + shedding policy (admission.hpp). Defaults unbounded,
+  /// preserving pre-overload-control behavior.
+  AdmissionConfig admission{};
+  /// Circuit breaker over consecutive dispatch failures (breaker.hpp).
+  /// Default threshold 0 = disabled.
+  BreakerConfig breaker{};
+  /// Route batches through run_solver_resilient: retries and fallback
+  /// degradation from pristine inputs, budget from the earliest member
+  /// deadline, launch-failure bisection. false = the plain run_solver
+  /// dispatch (one shot, shared-fate on launch failure).
+  bool resilient = true;
+  /// Re-dispatches per resilient stage; -1 = the engine's --max-retries
+  /// default. Tests pin 0 to make single-dispatch failures deterministic.
+  int max_retries = -1;
+  /// Resilient fallback-stage names after the entry solver; empty = the
+  /// registry default (pthomas → cpu-thomas → lu). Pass the entry
+  /// solver's own token to disable fallbacks entirely.
+  std::vector<std::string> fallback_chain{};
 };
 
 /// One client request: an owned N-row system plus its SLO.
@@ -108,7 +167,8 @@ struct SolveRequest {
   tridiag::TridiagSystem<double> system;
   /// Wall-clock budget in microseconds from submit(); 0 = no deadline.
   double deadline_us = 0.0;
-  /// Higher priority admits first when a window oversubscribes.
+  /// Higher priority admits first when a window oversubscribes — and
+  /// survives reject_lowest_priority shedding under overload.
   int priority = 0;
 };
 
@@ -116,16 +176,26 @@ struct SolveRequest {
 struct SolveResult {
   tridiag::SolveCode code = tridiag::SolveCode::ok;
   /// Solution vector (length N). For requests that never ran (expired
-  /// in-queue, rejected, failed launch) this is the pristine rhs — the
-  /// service never hands back partially-eliminated garbage.
+  /// in-queue, shed, rejected, failed launch) this is the pristine rhs —
+  /// the service never hands back partially-eliminated garbage.
   std::vector<double> x;
   double latency_us = 0.0;   ///< submit → fulfillment, wall
   double queue_us = 0.0;     ///< submit → admission, wall (== latency_us
                              ///< for requests that expired in-queue)
-  double solve_us = 0.0;     ///< simulated time of the batch it rode
+  double solve_us = 0.0;     ///< simulated time of the dispatches it rode
   std::uint64_t batch_id = 0;  ///< 1-based; 0 = never admitted
   std::size_t batch_size = 0;  ///< occupancy of its coalesced launch
   double pivot_growth = 1.0;   ///< per-system guard estimate (1.0 unguarded)
+  /// Dispatch attempts that touched this request, across retries,
+  /// fallback stages and bisection re-dispatches (0 = never dispatched).
+  std::uint32_t attempts = 0;
+  /// A failure or flag was detected on some attempt, but a retry,
+  /// fallback stage or bisection still delivered this clean result.
+  bool recovered = false;
+  /// Solved by the open circuit breaker's host-Thomas degrade path
+  /// instead of the configured solver (correct, but host-speed and
+  /// outside the simulated-GPU cost model).
+  bool degraded = false;
 };
 
 /// Layout the batcher assembles a coalesced M x N batch in: interleaved
@@ -143,14 +213,23 @@ class SolveService {
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
+  /// Empty when the config validated; otherwise the reason every
+  /// submit() is being rejected with bad_argument.
+  [[nodiscard]] const std::string& config_error() const noexcept {
+    return config_error_;
+  }
+
   /// Enqueue one request. Returns immediately; the future is fulfilled
-  /// by the batcher. After shutdown() the request is rejected: the
-  /// future is ready at once with SolveCode::bad_argument and the
-  /// pristine rhs. Empty systems are rejected with SolveCode::bad_size.
+  /// by the batcher. After shutdown() (or with an invalid config) the
+  /// request is rejected: the future is ready at once with
+  /// SolveCode::bad_argument and the pristine rhs. Empty systems are
+  /// rejected with SolveCode::bad_size. When an admission bound is hit,
+  /// the shed policy picks a victim (this request or a queued one) and
+  /// resolves it with SolveCode::overloaded and its pristine rhs.
   std::future<SolveResult> submit(SolveRequest req);
 
-  /// Launch the batcher thread (no-op when already running). Only
-  /// needed with auto_start = false.
+  /// Launch the batcher thread (no-op when already running or when the
+  /// config was rejected). Only needed with auto_start = false.
   void start();
 
   /// Stop intake, drain every queued request (all futures fulfilled),
@@ -162,6 +241,22 @@ class SolveService {
   [[nodiscard]] std::uint64_t batches_launched() const noexcept;
   [[nodiscard]] std::uint64_t requests_completed() const noexcept;
   [[nodiscard]] std::uint64_t requests_expired() const noexcept;
+  [[nodiscard]] std::uint64_t requests_shed() const noexcept;
+  [[nodiscard]] std::uint64_t requests_retried() const noexcept;
+  [[nodiscard]] std::uint64_t requests_degraded() const noexcept;
+  [[nodiscard]] std::uint64_t requests_quarantined() const noexcept;
+  [[nodiscard]] std::uint64_t batches_bisected() const noexcept;
+
+  /// High-water mark of admitted-but-undispatched requests; never
+  /// exceeds cfg.admission.max_queue when that bound is set.
+  [[nodiscard]] std::size_t peak_queue_depth() const noexcept;
+
+  [[nodiscard]] const CircuitBreaker& breaker() const noexcept {
+    return breaker_;
+  }
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
 
  private:
   struct Pending;
@@ -171,10 +266,24 @@ class SolveService {
   void drain_shards(std::vector<Pending>& backlog);
   void expire_overdue(std::vector<Pending>& backlog,
                       std::chrono::steady_clock::time_point now);
+  /// Breaker gate, then the configured dispatch path. Bisection halves
+  /// re-enter here, so an ongoing fault storm trips the breaker
+  /// mid-recovery instead of hammering a failing engine.
   void dispatch(std::vector<Pending> group);
+  void dispatch_batch(std::vector<Pending> group);
+  void dispatch_degraded(std::vector<Pending> group);
   void fulfill_unran(Pending& p, tridiag::SolveCode code);
+  void shed(Pending& p);
+  /// Evict the lowest-priority queued request strictly below
+  /// `incoming_priority` (newest among ties); all shard locks held in
+  /// index order for the scan. Returns false when no such victim exists.
+  bool evict_lowest_priority(int incoming_priority);
+  /// Evict the queued request with the least deadline headroom whose
+  /// estimated wait already exceeds it (brownout victim search).
+  bool evict_doomed(std::chrono::steady_clock::time_point now);
 
   ServiceConfig cfg_;
+  std::string config_error_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::size_t> queued_{0};
@@ -186,13 +295,22 @@ class SolveService {
   std::thread batcher_;
   std::mutex lifecycle_mu_;  ///< serializes start()/shutdown()
 
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
+
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> bisections_{0};
 
   // Metric handles resolved once (hot submit/dispatch paths).
   obs::MetricsRegistry::Counter m_submitted_, m_completed_, m_expired_,
-      m_rejected_, m_batches_, m_solo_batches_;
+      m_rejected_, m_shed_, m_retried_, m_degraded_, m_quarantined_,
+      m_batches_, m_solo_batches_, m_bisected_batches_;
   obs::MetricsRegistry::Histogram h_latency_, h_queue_, h_batch_size_,
       h_solve_us_;
 };

@@ -33,8 +33,9 @@ namespace tridsolve::tridiag {
 /// and the resilient pipeline's error taxonomy. Transient execution
 /// failures (timed_out, launch_failed) rank between the numerical codes a
 /// retry can plausibly clear and the terminal ones (singular: the matrix
-/// itself is bad; deadline: the budget is gone; bad_size: the request
-/// was malformed).
+/// itself is bad; deadline: the budget is gone; overloaded: the service
+/// shed the request before spending compute; bad_size: the request was
+/// malformed).
 [[nodiscard]] constexpr int solve_code_severity(SolveCode c) noexcept {
   switch (c) {
     case SolveCode::ok: return 0;
@@ -44,8 +45,9 @@ namespace tridsolve::tridiag {
     case SolveCode::launch_failed: return 4;
     case SolveCode::singular: return 5;
     case SolveCode::deadline: return 6;
-    case SolveCode::bad_size: return 7;
-    case SolveCode::bad_argument: return 8;
+    case SolveCode::overloaded: return 7;
+    case SolveCode::bad_size: return 8;
+    case SolveCode::bad_argument: return 9;
   }
   return 0;
 }

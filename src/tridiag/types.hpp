@@ -37,6 +37,9 @@ enum class SolveCode {
   timed_out,      ///< the dispatch overran its time budget; results suspect
   launch_failed,  ///< the kernel launch itself failed before running
   deadline,       ///< the resilience deadline expired before a clean solve
+  overloaded,     ///< shed by admission control or an open circuit breaker
+                  ///< before any compute was spent — pristine inputs, safe
+                  ///< to resubmit once pressure drops (service layer)
   bad_size,       ///< size mismatch between matrix, rhs, or workspace
   bad_argument,   ///< caller-supplied option invalid for the shape (e.g.
                   ///< a forced transition point with 2^k > N)
@@ -51,6 +54,7 @@ enum class SolveCode {
     case SolveCode::timed_out: return "timed_out";
     case SolveCode::launch_failed: return "launch_failed";
     case SolveCode::deadline: return "deadline";
+    case SolveCode::overloaded: return "overloaded";
     case SolveCode::bad_size: return "bad_size";
     case SolveCode::bad_argument: return "bad_argument";
   }

@@ -271,7 +271,7 @@ std::size_t validate_jsonl(const std::string& path) {
       }
       static constexpr const char* codes[] = {
           "ok", "near_singular", "zero_pivot", "timed_out", "launch_failed",
-          "singular", "deadline", "bad_size", "bad_argument"};
+          "singular", "deadline", "overloaded", "bad_size", "bad_argument"};
       const std::string worst = require_string(rec, "resilience_worst", where);
       if (std::find_if(std::begin(codes), std::end(codes),
                        [&worst](const char* c) { return worst == c; }) ==
@@ -323,7 +323,8 @@ std::size_t validate_jsonl(const std::string& path) {
         "service_batches",        "service_occupancy_mean",
         "service_occupancy_max",  "service_p50_us",
         "service_p99_us",         "service_batched_sim_us",
-        "service_solo_sim_us"};
+        "service_solo_sim_us",    "service_shed",
+        "service_degraded",       "service_retried"};
     bool has_svc_any = false, has_svc_all = true;
     for (const char* key : service_keys) {
       if (rec.find(key)) has_svc_any = true;
@@ -333,7 +334,8 @@ std::size_t validate_jsonl(const std::string& path) {
       if (!has_svc_all) {
         fail(where + ": partial service block (need all of service_{offered_"
              "rps,achieved_rps,requests,expired,batches,occupancy_mean,"
-             "occupancy_max,p50_us,p99_us,batched_sim_us,solo_sim_us})");
+             "occupancy_max,p50_us,p99_us,batched_sim_us,solo_sim_us,shed,"
+             "degraded,retried})");
       }
       for (const char* key : service_keys) {
         if (require_number(rec, key, where) < 0) {
@@ -344,6 +346,15 @@ std::size_t validate_jsonl(const std::string& path) {
       if (requests < 1) fail(where + ": service_requests < 1");
       if (require_number(rec, "service_expired", where) > requests) {
         fail(where + ": service_expired > service_requests");
+      }
+      // Shed/degraded/retried are per-request tallies: each request is
+      // shed or dispatched (possibly degraded/retried), never both more
+      // than once — so none can exceed the request count.
+      for (const char* key :
+           {"service_shed", "service_degraded", "service_retried"}) {
+        if (require_number(rec, key, where) > requests) {
+          fail(where + ": \"" + std::string(key) + "\" > service_requests");
+        }
       }
       if (require_number(rec, "service_occupancy_mean", where) >
           require_number(rec, "service_occupancy_max", where)) {
